@@ -1,0 +1,109 @@
+// Ablation: SLED locks (paper §3.4: "Adding a lock or reservation mechanism
+// would improve the accuracy and lifetime of SLEDs by controlling access to
+// the affected resources").
+//
+// Scenario: a SLEDs application plans its reads (sleds_pick_init), but
+// before it finishes consuming the plan another process streams a large
+// file, evicting the cached region the plan counted on. Without a lock the
+// "memory" picks silently become disk reads (the estimate was stale, §3.4);
+// with FSLEDS_LOCK on the planned region the estimate stays true.
+#include <cstdio>
+
+#include "src/common/units.h"
+#include "src/sleds/picker.h"
+#include "src/workload/experiment.h"
+#include "src/workload/testbed.h"
+#include "src/workload/text_gen.h"
+
+namespace sled {
+namespace {
+
+struct Outcome {
+  double seconds = 0.0;
+  int64_t faults = 0;
+  double estimate_sec = 0.0;  // the picker-time estimate of remaining work
+};
+
+Outcome RunReader(bool use_lock, uint64_t seed) {
+  Testbed tb = MakeUnixTestbed(StorageKind::kDisk, seed);
+  SimKernel& kernel = *tb.kernel;
+  Process& gen = kernel.CreateProcess("gen");
+  Rng rng(seed);
+  SLED_CHECK(GenerateTextFile(kernel, gen, "/data/hot.txt", MiB(16), rng).ok(), "gen failed");
+  SLED_CHECK(GenerateTextFile(kernel, gen, "/data/flood.txt", MiB(64), rng).ok(), "gen failed");
+  kernel.DropCaches();
+
+  // Warm the hot file: it is fully cached when the reader plans.
+  Process& warm = kernel.CreateProcess("warm");
+  {
+    const int fd = kernel.Open(warm, "/data/hot.txt").value();
+    std::vector<char> buf(static_cast<size_t>(256 * kKiB));
+    while (kernel.Read(warm, fd, std::span<char>(buf.data(), buf.size())).value() > 0) {
+    }
+    SLED_CHECK(kernel.Close(warm, fd).ok(), "close failed");
+  }
+
+  Process& reader = kernel.CreateProcess("reader");
+  const int fd = kernel.Open(reader, "/data/hot.txt").value();
+  auto picker = SledsPicker::Create(kernel, reader, fd, PickerOptions{}).value();
+  Outcome out;
+  // The plan says: everything from memory.
+  for (const Sled& s : picker->plan()) {
+    out.estimate_sec += s.DeliveryTime().ToSeconds();
+  }
+  if (use_lock) {
+    SLED_CHECK(kernel.IoctlSledsLock(reader, fd, 0, MiB(16)).value() > 0, "lock failed");
+  }
+
+  // Before the reader gets to consume its plan, a flood evicts the cache.
+  Process& flood = kernel.CreateProcess("flood");
+  {
+    const int ffd = kernel.Open(flood, "/data/flood.txt").value();
+    std::vector<char> buf(static_cast<size_t>(256 * kKiB));
+    while (kernel.Read(flood, ffd, std::span<char>(buf.data(), buf.size())).value() > 0) {
+    }
+    SLED_CHECK(kernel.Close(flood, ffd).ok(), "close failed");
+  }
+
+  // Now the reader consumes the (possibly stale) plan.
+  std::vector<char> buf(static_cast<size_t>(64 * kKiB));
+  while (true) {
+    auto pick = picker->NextRead().value();
+    if (pick.length == 0) {
+      break;
+    }
+    SLED_CHECK(kernel.Lseek(reader, fd, pick.offset, Whence::kSet).ok(), "lseek failed");
+    SLED_CHECK(
+        kernel.Read(reader, fd, std::span<char>(buf.data(), static_cast<size_t>(pick.length)))
+            .ok(),
+        "read failed");
+  }
+  SLED_CHECK(kernel.Close(reader, fd).ok(), "close failed");
+  out.seconds = reader.stats().elapsed().ToSeconds();
+  out.faults = reader.stats().major_faults;
+  return out;
+}
+
+int Main() {
+  std::printf(
+      "==== Ablation: SLED locks (plan, get flooded, then consume; 16 MB hot file,\n"
+      "     40 MB cache, 64 MB competing stream) ====\n\n");
+  std::printf("%-22s %12s %14s %18s\n", "mode", "elapsed", "major faults", "planned estimate");
+  for (bool use_lock : {false, true}) {
+    const Outcome o = RunReader(use_lock, use_lock ? 71 : 72);
+    std::printf("%-22s %10.2f s %14lld %15.2f s\n",
+                use_lock ? "FSLEDS_LOCK held" : "no lock (paper impl)", o.seconds,
+                static_cast<long long>(o.faults), o.estimate_sec);
+  }
+  std::printf(
+      "\nWithout the lock the flood invalidates the plan: every \"memory\" pick\n"
+      "turns into a disk read and the estimate is off by an order of magnitude.\n"
+      "With the lock the pages stay resident and the estimate stays honest —\n"
+      "at the cost of denying the flood ~40%% of the cache.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sled
+
+int main() { return sled::Main(); }

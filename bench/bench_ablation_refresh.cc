@@ -1,0 +1,104 @@
+// Ablation: refreshing SLEDs mid-run vs the paper's snapshot-at-init
+// implementation (§3.4 staleness limitation / §4.2 "Refreshing the state of
+// those SLEDs occasionally would allow the library to take advantage of any
+// changes in state").
+//
+// Scenario: a SLEDs-guided reader starts against a cold 128 MB file (plan:
+// one big disk SLED, read in offset order); halfway through, another
+// application reads the final 8 MB stripe into the cache. A snapshot picker
+// never learns this: by the time its linear plan reaches the tail, its own
+// intervening 56 MB of cold reads have pushed the stripe back out of the
+// 40 MB cache, and it pays the disk for it again. A refreshing picker re-plans
+// after the stripe appears, consumes it from memory immediately, and saves
+// those faults.
+#include <cstdio>
+
+#include "src/common/units.h"
+#include "src/sleds/picker.h"
+#include "src/workload/experiment.h"
+#include "src/workload/testbed.h"
+#include "src/workload/text_gen.h"
+
+namespace sled {
+namespace {
+
+struct Outcome {
+  double seconds = 0.0;
+  int64_t faults = 0;
+};
+
+Outcome RunReader(int refresh_every, uint64_t seed) {
+  Testbed tb = MakeUnixTestbed(StorageKind::kDisk, seed);
+  Process& gen = tb.kernel->CreateProcess("gen");
+  Rng rng(seed);
+  const int64_t size = MiB(128);
+  SLED_CHECK(GenerateTextFile(*tb.kernel, gen, "/data/file.txt", size, rng).ok(), "gen failed");
+  tb.kernel->DropCaches();
+
+  SimKernel& kernel = *tb.kernel;
+  Process& reader = kernel.CreateProcess("reader");
+  const int fd = kernel.Open(reader, "/data/file.txt").value();
+  PickerOptions options;
+  options.preferred_chunk_bytes = 64 * kKiB;
+  options.refresh_every_n_picks = refresh_every;
+  auto picker = SledsPicker::Create(kernel, reader, fd, options).value();
+
+  std::vector<char> buf(static_cast<size_t>(64 * kKiB));
+  int64_t consumed = 0;
+  bool injected = false;
+  while (true) {
+    auto pick = picker->NextRead().value();
+    if (pick.length == 0) {
+      break;
+    }
+    SLED_CHECK(kernel.Lseek(reader, fd, pick.offset, Whence::kSet).ok(), "lseek failed");
+    SLED_CHECK(
+        kernel.Read(reader, fd, std::span<char>(buf.data(), static_cast<size_t>(pick.length)))
+            .ok(),
+        "read failed");
+    consumed += pick.length;
+    if (!injected && consumed >= size / 2) {
+      injected = true;
+      // Another application streams the last 8 MB into the cache. Its cost
+      // is charged to its own process, not the reader.
+      Process& other = kernel.CreateProcess("other");
+      const int ofd = kernel.Open(other, "/data/file.txt").value();
+      SLED_CHECK(kernel.Lseek(other, ofd, size - MiB(8), Whence::kSet).ok(), "lseek failed");
+      int64_t remaining = MiB(8);
+      while (remaining > 0) {
+        const int64_t n =
+            kernel.Read(other, ofd, std::span<char>(buf.data(), buf.size())).value();
+        if (n == 0) {
+          break;
+        }
+        remaining -= n;
+      }
+      SLED_CHECK(kernel.Close(other, ofd).ok(), "close failed");
+    }
+  }
+  SLED_CHECK(kernel.Close(reader, fd).ok(), "close failed");
+  return {reader.stats().elapsed().ToSeconds(), reader.stats().major_faults};
+}
+
+int Main() {
+  std::printf(
+      "==== Ablation: SLEDs refresh interval (cold 128 MB read; another process\n"
+      "     caches the final 8 MB stripe halfway through) ====\n\n");
+  std::printf("%-26s %14s %14s\n", "refresh every N picks", "elapsed", "major faults");
+  for (int refresh : {0, 256, 64, 16, 4}) {
+    const Outcome o = RunReader(refresh, 500 + refresh);
+    const std::string label = refresh == 0 ? "never (paper impl)" : std::to_string(refresh);
+    std::printf("%-26s %12.2f s %14lld\n", label.c_str(), o.seconds,
+                static_cast<long long>(o.faults));
+  }
+  std::printf(
+      "\nRefreshing pickers consume the stripe the other process cached before\n"
+      "it is evicted (about 2k fewer faults, ~1 s less); very frequent refresh\n"
+      "pays extra FSLEDS_GET scans for no additional benefit.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sled
+
+int main() { return sled::Main(); }

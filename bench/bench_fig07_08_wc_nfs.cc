@@ -1,0 +1,43 @@
+// Reproduces paper Figure 7 (wc execution time over NFS, with and without
+// SLEDs, warm cache) and Figure 8 (the derived speedup ratio).
+//
+// Expected shape: the two curves track each other until the file stops
+// fitting in the ~40 MB file cache; beyond that the without-SLEDs curve
+// keeps climbing at device bandwidth while with-SLEDs saves roughly
+// (cache size / NFS bandwidth) seconds — a constant absolute gap, a peak
+// ratio (~4-5x in the paper) just above the cache size, and a gradual decline
+// of the ratio afterwards.
+#include "bench/bench_util.h"
+#include "src/apps/wc.h"
+#include "src/workload/text_gen.h"
+
+namespace sled {
+namespace {
+
+int Main() {
+  const BenchParams params = BenchParams::FromEnv(PaperUnixSizes());
+  const SweepResult sweep = RunFigureSweep(
+      [](uint64_t seed) { return MakeUnixTestbed(StorageKind::kNfs, seed); },
+      [](Testbed& tb, int64_t size, Rng& rng) {
+        Process& gen = tb.kernel->CreateProcess("gen");
+        SLED_CHECK(GenerateTextFile(*tb.kernel, gen, "/data/file.txt", size, rng).ok(),
+                   "generation failed");
+        tb.kernel->DropCaches();
+        return std::function<void(SimKernel&, Process&, Rng&)>();
+      },
+      [](SimKernel& kernel, Process& p, bool use_sleds) {
+        WcOptions options;
+        options.use_sleds = use_sleds;
+        SLED_CHECK(WcApp::Run(kernel, p, "/data/file.txt", options).ok(), "wc failed");
+      },
+      params);
+  PrintFigure("Figure 7", "Time for NFS wc with/without SLEDs", "Execution time (s)",
+              sweep.time_points);
+  PrintRatioFigure("Figure 8", "Time ratio of wo/w SLEDs for nfs wc", sweep.time_points);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sled
+
+int main() { return sled::Main(); }

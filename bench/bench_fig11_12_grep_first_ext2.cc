@@ -1,0 +1,58 @@
+// Reproduces paper Figure 11 (grep -q, one randomly-placed match, ext2, warm
+// cache) and Figure 12 (the derived speedup ratio).
+//
+// Expected shape: this is "the ideal benchmark for SLEDs". With SLEDs, the
+// cached portion is searched first, so when the random match lands in cache
+// the run does essentially no physical I/O; without SLEDs the scan starts at
+// the head of the file, which the LRU cache has already evicted. Means
+// diverge sharply above the cache size; the without-SLEDs error bars are
+// large (high run-to-run variability); the ratio peaks around an order of
+// magnitude or more near 1-2x the cache size.
+#include "bench/bench_util.h"
+#include "src/apps/grep.h"
+#include "src/common/units.h"
+#include "src/workload/text_gen.h"
+
+namespace sled {
+namespace {
+
+int Main() {
+  const BenchParams params = BenchParams::FromEnv(PaperUnixSizes());
+  const SweepResult sweep = RunFigureSweep(
+      [](uint64_t seed) { return MakeUnixTestbed(StorageKind::kDisk, seed); },
+      [](Testbed& tb, int64_t size, Rng& rng) -> std::function<void(SimKernel&, Process&, Rng&)> {
+        Process& gen = tb.kernel->CreateProcess("gen");
+        SLED_CHECK(GenerateTextFile(*tb.kernel, gen, "/data/file.txt", size, rng).ok(),
+                   "generation failed");
+        tb.kernel->DropCaches();
+        // Move the single match to a fresh uniformly-random position before
+        // every run ("a single match that was placed randomly in the test
+        // file", §5.2).
+        auto marker_offset = std::make_shared<int64_t>(-1);
+        return [size, marker_offset](SimKernel& kernel, Process& p, Rng& run_rng) {
+          const int64_t where = run_rng.Uniform(0, size - kGenLineLen);
+          auto placed =
+              MoveMarkerScrubbed(kernel, p, "/data/file.txt", *marker_offset, where, run_rng);
+          SLED_CHECK(placed.ok(), "marker placement failed");
+          *marker_offset = placed.value();
+        };
+      },
+      [](SimKernel& kernel, Process& p, bool use_sleds) {
+        GrepOptions options;
+        options.use_sleds = use_sleds;
+        options.quiet_first_match = true;
+        auto r = GrepApp::Run(kernel, p, "/data/file.txt", std::string(kGrepMarker), options);
+        SLED_CHECK(r.ok() && r->found, "grep -q failed to find the marker");
+      },
+      params, /*seed_base=*/11000);
+  PrintFigure("Figure 11", "Time for ext2 grep with one match wo/w SLEDs", "Execution time (s)",
+              sweep.time_points);
+  PrintRatioFigure("Figure 12", "Time ratio of wo/w SLEDS for ext2 grep with one match",
+                   sweep.time_points);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sled
+
+int main() { return sled::Main(); }

@@ -1,0 +1,50 @@
+// Reproduces paper Figure 15: fimgbin elapsed time on ext2 (Table 3
+// machine), 4x data reduction (2x2 boxcar), with and without SLEDs, warm
+// cache. Also prints the 16x-reduction series the paper discusses in text
+// (elapsed-time gains of 25-35% "indicating that the write traffic is an
+// important factor" — the 16x case writes a 16th of the data).
+#include "bench/bench_util.h"
+#include "src/apps/fimgbin.h"
+#include "src/workload/fits_gen.h"
+
+namespace sled {
+namespace {
+
+SweepResult RunWithBoxcar(int boxcar, const BenchParams& params, uint64_t seed_base) {
+  return RunFigureSweep(
+      [](uint64_t seed) { return MakeLheasoftTestbed(seed); },
+      [](Testbed& tb, int64_t size, Rng& rng) {
+        Process& gen = tb.kernel->CreateProcess("gen");
+        SLED_CHECK(
+            GenerateFitsImage(*tb.kernel, gen, "/data/image.fits", size, -32, rng).ok(),
+            "image generation failed");
+        tb.kernel->DropCaches();
+        return std::function<void(SimKernel&, Process&, Rng&)>();
+      },
+      [boxcar](SimKernel& kernel, Process& p, bool use_sleds) {
+        FimgbinOptions options;
+        options.use_sleds = use_sleds;
+        options.boxcar = boxcar;
+        SLED_CHECK(
+            FimgbinApp::Run(kernel, p, "/data/image.fits", "/data/out.fits", options).ok(),
+            "fimgbin failed");
+      },
+      params, seed_base);
+}
+
+int Main() {
+  const BenchParams params = BenchParams::FromEnv(PaperLheasoftSizes());
+  const SweepResult x4 = RunWithBoxcar(/*boxcar=*/2, params, 15000);
+  PrintFigure("Figure 15", "Elapsed time for FIMGBIN with/without SLEDs (4x data reduction)",
+              "Execution time (s)", x4.time_points);
+  const SweepResult x16 = RunWithBoxcar(/*boxcar=*/4, params, 15500);
+  PrintFigure("Figure 15b (text: 16x reduction)",
+              "Elapsed time for FIMGBIN with/without SLEDs (16x data reduction)",
+              "Execution time (s)", x16.time_points);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sled
+
+int main() { return sled::Main(); }

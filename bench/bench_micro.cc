@@ -1,0 +1,144 @@
+// Microbenchmarks (google-benchmark) for the SLEDs hot paths: cache ops,
+// kernel SLED scans, picker stepping, the Horspool search, and FITS pixel
+// codecs. These bound the CPU overhead the SLEDs machinery adds per I/O.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/apps/grep.h"
+#include "src/cache/page_cache.h"
+#include "src/common/rng.h"
+#include "src/device/disk_device.h"
+#include "src/fits/fits.h"
+#include "src/fs/extent_file_system.h"
+#include "src/kernel/sim_kernel.h"
+#include "src/sleds/picker.h"
+
+namespace sled {
+namespace {
+
+void BM_PageCacheTouchHit(benchmark::State& state) {
+  PageCache cache({.capacity_pages = 4096});
+  for (int64_t p = 0; p < 4096; ++p) {
+    cache.Insert({1, p}, false);
+  }
+  int64_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Touch({1, p}));
+    p = (p + 1) & 4095;
+  }
+}
+BENCHMARK(BM_PageCacheTouchHit);
+
+void BM_PageCacheInsertEvict(benchmark::State& state) {
+  PageCache cache({.capacity_pages = 1024});
+  int64_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Insert({1, p++}, false));
+  }
+}
+BENCHMARK(BM_PageCacheInsertEvict);
+
+struct KernelFixture {
+  std::unique_ptr<SimKernel> kernel;
+  Process* proc = nullptr;
+  int fd = -1;
+
+  explicit KernelFixture(int64_t file_pages) {
+    KernelConfig config;
+    config.cache.capacity_pages = file_pages;
+    kernel = std::make_unique<SimKernel>(config);
+    auto fs = std::make_unique<ExtFs>("ext2", std::make_unique<DiskDevice>(DiskDeviceConfig{}));
+    (void)kernel->Mount("/", std::move(fs));
+    proc = &kernel->CreateProcess("bench");
+    const int cfd = kernel->Create(*proc, "/f").value();
+    const std::string data(static_cast<size_t>(file_pages * kPageSize), 'x');
+    (void)kernel->Write(*proc, cfd, std::span<const char>(data.data(), data.size()));
+    (void)kernel->Close(*proc, cfd);
+    // Cache alternating stripes so scans see many SLED transitions.
+    kernel->DropCaches();
+    fd = kernel->Open(*proc, "/f").value();
+    char b;
+    for (int64_t page = 0; page < file_pages; page += 16) {
+      for (int64_t q = page; q < std::min(page + 8, file_pages); ++q) {
+        (void)kernel->Lseek(*proc, fd, q * kPageSize, Whence::kSet);
+        (void)kernel->Read(*proc, fd, std::span<char>(&b, 1));
+      }
+    }
+  }
+};
+
+void BM_SledsGetScan(benchmark::State& state) {
+  KernelFixture fx(state.range(0));
+  for (auto _ : state) {
+    auto sleds = fx.kernel->IoctlSledsGet(*fx.proc, fx.fd);
+    benchmark::DoNotOptimize(sleds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SledsGetScan)->Arg(1024)->Arg(8192)->Arg(32768);
+
+void BM_PickerFullWalk(benchmark::State& state) {
+  KernelFixture fx(state.range(0));
+  for (auto _ : state) {
+    auto picker = SledsPicker::Create(*fx.kernel, *fx.proc, fx.fd, PickerOptions{}).value();
+    int64_t total = 0;
+    while (true) {
+      auto pick = picker->NextRead().value();
+      if (pick.length == 0) {
+        break;
+      }
+      total += pick.length;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PickerFullWalk)->Arg(1024)->Arg(8192);
+
+void BM_HorspoolSearch(benchmark::State& state) {
+  Rng rng(1);
+  std::string haystack;
+  haystack.reserve(1 << 20);
+  for (int i = 0; i < (1 << 20); ++i) {
+    haystack.push_back(static_cast<char>('a' + rng.Uniform(0, 25)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HorspoolSearchAll(haystack, "XNEEDLEX"));
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_HorspoolSearch);
+
+void BM_FitsPixelCodec(benchmark::State& state) {
+  const int bitpix = static_cast<int>(state.range(0));
+  char buf[8];
+  double v = 1.5;
+  for (auto _ : state) {
+    FitsEncodePixel(v, bitpix, buf);
+    v = FitsDecodePixel(buf, bitpix) + 1.0;
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_FitsPixelCodec)->Arg(16)->Arg(-32)->Arg(-64);
+
+void BM_KernelCachedRead(benchmark::State& state) {
+  KernelFixture fx(256);
+  // Warm everything.
+  char buf[65536];
+  (void)fx.kernel->Lseek(*fx.proc, fx.fd, 0, Whence::kSet);
+  while (fx.kernel->Read(*fx.proc, fx.fd, std::span<char>(buf, sizeof(buf))).value() > 0) {
+  }
+  for (auto _ : state) {
+    (void)fx.kernel->Lseek(*fx.proc, fx.fd, 0, Whence::kSet);
+    benchmark::DoNotOptimize(
+        fx.kernel->Read(*fx.proc, fx.fd, std::span<char>(buf, sizeof(buf))));
+  }
+  state.SetBytesProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_KernelCachedRead);
+
+}  // namespace
+}  // namespace sled
+
+BENCHMARK_MAIN();

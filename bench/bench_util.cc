@@ -1,0 +1,119 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/units.h"
+
+namespace sled {
+
+BenchParams BenchParams::FromEnv(std::vector<int64_t> default_sizes) {
+  BenchParams params;
+  if (const char* env = std::getenv("SLEDS_BENCH_REPEATS")) {
+    params.repeats = std::max(2, atoi(env));
+  }
+  int64_t max_mb = 1 << 20;
+  if (const char* env = std::getenv("SLEDS_BENCH_MAX_MB")) {
+    max_mb = std::max(1, atoi(env));
+  }
+  int64_t step_mb = 0;
+  if (const char* env = std::getenv("SLEDS_BENCH_STEP_MB")) {
+    step_mb = std::max(1, atoi(env));
+  }
+  int64_t last_mb = -1;
+  for (int64_t size : default_sizes) {
+    const int64_t mb = size / kMiB;
+    if (mb > max_mb) {
+      continue;
+    }
+    if (step_mb > 0 && last_mb >= 0 && mb - last_mb < step_mb) {
+      continue;
+    }
+    params.sizes.push_back(size);
+    last_mb = mb;
+  }
+  if (params.sizes.empty()) {
+    params.sizes.push_back(default_sizes.front());
+  }
+  return params;
+}
+
+SweepResult RunFigureSweep(const std::function<Testbed(uint64_t seed)>& make_testbed,
+                           const PrepareFn& prepare, const AppRunnerFn& run,
+                           const BenchParams& params, uint64_t seed_base) {
+  SweepResult result;
+  uint64_t seed = seed_base;
+  for (int64_t size : params.sizes) {
+    SeriesPoint time_point;
+    SeriesPoint fault_point;
+    time_point.x = static_cast<double>(size) / static_cast<double>(kMiB);
+    fault_point.x = time_point.x;
+    for (bool use_sleds : {false, true}) {
+      ++seed;
+      Testbed tb = make_testbed(seed);
+      Rng rng(seed * 7919);
+      auto per_run_setup = prepare(tb, size, rng);
+      const MeasuredPoint point = RunWarmCacheSeries(
+          tb, params.repeats, rng, per_run_setup,
+          [&](SimKernel& k, Process& p) { run(k, p, use_sleds); });
+      if (use_sleds) {
+        time_point.with_sleds = point.seconds;
+        fault_point.with_sleds = point.faults;
+      } else {
+        time_point.without_sleds = point.seconds;
+        fault_point.without_sleds = point.faults;
+      }
+    }
+    result.time_points.push_back(time_point);
+    result.fault_points.push_back(fault_point);
+    std::fprintf(stderr, "  [%4.0f MB done]\n", time_point.x);
+  }
+  return result;
+}
+
+namespace {
+
+void PrintPlot(const std::string& title, const std::string& y_label,
+               const std::vector<SeriesPoint>& points) {
+  PlotSeries with{"with SLEDs", 'w', {}, {}};
+  PlotSeries without{"without SLEDs", 'o', {}, {}};
+  for (const SeriesPoint& p : points) {
+    with.xs.push_back(p.x);
+    with.ys.push_back(p.with_sleds.mean);
+    without.xs.push_back(p.x);
+    without.ys.push_back(p.without_sleds.mean);
+  }
+  PlotOptions options;
+  options.title = title;
+  options.x_label = "File size (MB)";
+  options.y_label = y_label;
+  std::fputs(RenderPlot({without, with}, options).c_str(), stdout);
+}
+
+}  // namespace
+
+void PrintFigure(const std::string& figure_id, const std::string& title,
+                 const std::string& y_label, const std::vector<SeriesPoint>& points) {
+  std::printf("\n==== %s: %s ====\n", figure_id.c_str(), title.c_str());
+  std::fputs(FormatSeries(title, "File size (MB)", y_label, points).c_str(), stdout);
+  PrintPlot(title, y_label, points);
+}
+
+void PrintRatioFigure(const std::string& figure_id, const std::string& title,
+                      const std::vector<SeriesPoint>& points) {
+  std::printf("\n==== %s: %s ====\n", figure_id.c_str(), title.c_str());
+  std::printf("%-16s %12s\n", "File size (MB)", "speedup");
+  PlotSeries ratio{"without/with (speedup)", '*', {}, {}};
+  for (const SeriesPoint& p : points) {
+    std::printf("%-16.1f %12.2f\n", p.x, p.speedup());
+    ratio.xs.push_back(p.x);
+    ratio.ys.push_back(p.speedup());
+  }
+  PlotOptions options;
+  options.title = title;
+  options.x_label = "File size (MB)";
+  options.y_label = "Improvement ratio";
+  std::fputs(RenderPlot({ratio}, options).c_str(), stdout);
+}
+
+}  // namespace sled

@@ -1,0 +1,76 @@
+// astro_pipeline: the paper's LHEASOFT scenario end to end — generate a FITS
+// survey image, run fimhisto (copy + histogram) and fimgbin (boxcar rebin)
+// over it with and without SLEDs on the Table 3 machine, and report the
+// per-run times and fault counts.
+//
+// Run: ./build/examples/astro_pipeline [image-MB]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/apps/fimgbin.h"
+#include "src/apps/fimhisto.h"
+#include "src/common/units.h"
+#include "src/workload/experiment.h"
+#include "src/workload/fits_gen.h"
+#include "src/workload/testbed.h"
+
+int main(int argc, char** argv) {
+  using namespace sled;
+
+  const int image_mb = argc > 1 ? std::max(8, atoi(argv[1])) : 48;
+  Testbed tb = MakeLheasoftTestbed(/*seed=*/99);
+  Process& gen = tb.kernel->CreateProcess("gen");
+  Rng rng(99);
+  std::printf("generating %d MB float image on the Table-3 machine...\n", image_mb);
+  const FitsHeader header =
+      GenerateFitsImage(*tb.kernel, gen, "/data/survey.fits", MiB(image_mb), -32, rng).value();
+  std::printf("image: %lld x %lld, BITPIX %d, data unit %lld bytes\n",
+              static_cast<long long>(header.naxis[0]), static_cast<long long>(header.naxis[1]),
+              header.bitpix, static_cast<long long>(header.data_bytes()));
+  tb.kernel->DropCaches();
+
+  auto report = [&](const char* label, const RunStats& stats) {
+    std::printf("  %-28s %10.2f s  %8lld faults\n", label, stats.elapsed.ToSeconds(),
+                static_cast<long long>(stats.major_faults));
+  };
+
+  // Warm the cache with one discarded pass, as in the paper's protocol.
+  (void)MeasureRun(*tb.kernel, [](SimKernel& k, Process& p) {
+    (void)FimhistoApp::Run(k, p, "/data/survey.fits", "/data/warm.fits", FimhistoOptions{});
+  });
+
+  std::printf("\nfimhisto (3-pass copy + histogram):\n");
+  for (bool use_sleds : {false, true}) {
+    (void)tb.kernel->FlushAllDirty();  // don't bill one run for the other's writeback
+    const RunStats stats = MeasureRun(*tb.kernel, [&](SimKernel& k, Process& p) {
+      FimhistoOptions options;
+      options.use_sleds = use_sleds;
+      auto r = FimhistoApp::Run(k, p, "/data/survey.fits", "/data/hist.fits", options);
+      if (r.ok() && use_sleds) {
+        std::printf("  histogram range [%.1f, %.1f], %zu bins\n", r->min_value, r->max_value,
+                    r->bins.size());
+      }
+    });
+    report(use_sleds ? "with SLEDs" : "without SLEDs", stats);
+  }
+
+  std::printf("\nfimgbin (2x2 boxcar, 4x data reduction):\n");
+  for (bool use_sleds : {false, true}) {
+    (void)tb.kernel->FlushAllDirty();
+    const RunStats stats = MeasureRun(*tb.kernel, [&](SimKernel& k, Process& p) {
+      FimgbinOptions options;
+      options.use_sleds = use_sleds;
+      options.boxcar = 2;
+      auto r = FimgbinApp::Run(k, p, "/data/survey.fits", "/data/binned.fits", options);
+      if (r.ok() && use_sleds) {
+        std::printf("  output %lld x %lld\n", static_cast<long long>(r->out_width),
+                    static_cast<long long>(r->out_height));
+      }
+    });
+    report(use_sleds ? "with SLEDs" : "without SLEDs", stats);
+  }
+  std::printf(
+      "\n(The SLEDs runs reorder passes 2/3 through the ff* element layer to eat\n"
+      "the cache-resident pixels first — the paper's §5.3 adaptation.)\n");
+  return 0;
+}

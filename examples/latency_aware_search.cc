@@ -1,0 +1,93 @@
+// latency_aware_search: the paper's find -exec grep anecdote (§5.2). A
+// programmer greps a source tree; the interesting hit is near the end; they
+// re-run the search moments later. With SLEDs, the second search reads the
+// cache first and terminates an order of magnitude sooner.
+//
+// Run: ./build/examples/latency_aware_search
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <algorithm>
+
+#include "src/apps/find.h"
+#include "src/apps/grep.h"
+#include "src/common/units.h"
+#include "src/sleds/delivery.h"
+#include "src/workload/testbed.h"
+#include "src/workload/text_gen.h"
+
+int main() {
+  using namespace sled;
+
+  Testbed tb = MakeUnixTestbed(StorageKind::kDisk, /*seed=*/31);
+  Process& user = tb.kernel->CreateProcess("user");
+  Rng rng(31);
+
+  // A "source tree": 24 files of 4 MB; the routine we want is in file 20.
+  std::printf("building /data/src: 24 files x 4 MB...\n");
+  (void)tb.kernel->vfs().CreateDir("/data/src");
+  std::vector<std::string> files;
+  for (int i = 0; i < 24; ++i) {
+    const std::string path = "/data/src/mod" + std::to_string(i) + ".c";
+    if (!GenerateTextFile(*tb.kernel, user, path, MiB(4), rng).ok()) {
+      std::fprintf(stderr, "generation failed\n");
+      return 1;
+    }
+    files.push_back(path);
+  }
+  (void)PlaceMarker(*tb.kernel, user, "/data/src/mod20.c", MiB(2)).value();
+  tb.kernel->DropCaches();
+
+  auto search_tree = [&](bool use_sleds, const char* label) {
+    Process& p = tb.kernel->CreateProcess(label);
+    FindOptions find_options;
+    find_options.name_contains = ".c";
+    FindResult tree = FindApp::Run(*tb.kernel, p, "/data/src", find_options).value();
+    if (use_sleds) {
+      // The SLEDs-aware search orders the *file set* by estimated delivery
+      // time (metadata-only FSLEDS_GET per file), so cached files go first.
+      std::vector<std::pair<double, std::string>> keyed;
+      for (const std::string& path : tree.paths) {
+        const int fd = tb.kernel->Open(p, path).value();
+        const Duration est =
+            TotalDeliveryTime(*tb.kernel, p, fd, AttackPlan::kBest).value();
+        (void)tb.kernel->Close(p, fd);
+        keyed.emplace_back(est.ToSeconds(), path);
+      }
+      std::stable_sort(keyed.begin(), keyed.end());
+      tree.paths.clear();
+      for (auto& [cost, path] : keyed) {
+        tree.paths.push_back(path);
+      }
+    }
+    std::string found_in;
+    for (const std::string& path : tree.paths) {
+      GrepOptions grep_options;
+      grep_options.use_sleds = use_sleds;
+      grep_options.quiet_first_match = true;
+      auto r = GrepApp::Run(*tb.kernel, p, path, std::string(kGrepMarker), grep_options);
+      if (r.ok() && r->found) {
+        found_in = path;
+        break;
+      }
+    }
+    std::printf("  %-22s found in %-22s elapsed %8.2f s, %6lld faults\n", label,
+                found_in.c_str(), p.stats().elapsed().ToSeconds(),
+                static_cast<long long>(p.stats().major_faults));
+  };
+
+  std::printf("\nfirst search (cold cache) — pays the disk either way:\n");
+  search_tree(false, "find-exec-grep");
+
+  std::printf("\nthe user hits ^C, tweaks the pattern, and searches again:\n");
+  search_tree(false, "plain re-run");
+  search_tree(true, "SLEDs re-run");
+
+  std::printf(
+      "\nThe SLEDs re-run starts from the files the previous search left in the\n"
+      "cache (the tail of the tree, where the hit lives) instead of rescanning\n"
+      "mod0.c onward from disk — \"the SLEDs-aware find allows him to search\n"
+      "cache first, then higher latency data only as needed\" (§5.2).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// sledsh — interactive shell over the simulated SLEDs storage stack.
+//
+//   ./build/examples/sledsh               interactive (reads stdin)
+//   ./build/examples/sledsh script.sh     run a script
+//   echo "help" | ./build/examples/sledsh
+//
+// Example session:
+//   mount ext2 /data
+//   genfile /data/big.txt 60
+//   dropcaches
+//   cat /data/big.txt
+//   sleds /data/big.txt
+//   wc -s /data/big.txt
+//   stats
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/workload/shell.h"
+
+int main(int argc, char** argv) {
+  sled::SledShell shell;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream script;
+    script << in.rdbuf();
+    std::fputs(shell.RunScript(script.str()).c_str(), stdout);
+    return 0;
+  }
+  const bool tty = true;
+  std::string line;
+  if (tty) {
+    std::printf("sledsh — SLEDs storage simulator shell ('help' for commands)\n");
+  }
+  while (true) {
+    std::printf("sledsh> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    if (line == "exit" || line == "quit") {
+      break;
+    }
+    std::fputs(shell.Execute(line).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "src/apps/file_info.h"
+
+#include "src/sleds/delivery.h"
+
+namespace sled {
+
+Result<FileInfoReport> FileInfoApp::Run(SimKernel& kernel, Process& process,
+                                        std::string_view path) {
+  FileInfoReport report;
+  report.path = std::string(path);
+  SLED_ASSIGN_OR_RETURN(int fd, kernel.Open(process, path));
+  SLED_ASSIGN_OR_RETURN(InodeAttr attr, kernel.Fstat(process, fd));
+  report.size_bytes = attr.size;
+  auto sleds = kernel.IoctlSledsGet(process, fd);
+  if (!sleds.ok()) {
+    (void)kernel.Close(process, fd);
+    return sleds.error();
+  }
+  report.sleds = std::move(sleds).value();
+  report.estimated_delivery = TotalDeliveryTime(report.sleds, AttackPlan::kBest);
+  report.panel_text = "Properties: " + report.path + "\n" +
+                      "size: " + std::to_string(report.size_bytes) + " bytes\n" +
+                      FormatSledReport(kernel, report.sleds);
+  SLED_RETURN_IF_ERROR(kernel.Close(process, fd));
+  return report;
+}
+
+}  // namespace sled

@@ -1,0 +1,32 @@
+// file_info — the gmc file-properties SLEDs panel (paper §5.2, Figure 6):
+// reports the length, offset, latency and bandwidth of each SLED plus the
+// estimated total delivery time, so a user can decide whether a file is
+// worth opening before paying the retrieval cost.
+#ifndef SLEDS_SRC_APPS_FILE_INFO_H_
+#define SLEDS_SRC_APPS_FILE_INFO_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/kernel/sim_kernel.h"
+#include "src/sleds/sled.h"
+
+namespace sled {
+
+struct FileInfoReport {
+  std::string path;
+  int64_t size_bytes = 0;
+  SledVector sleds;
+  Duration estimated_delivery;
+  std::string panel_text;  // the rendered properties panel
+};
+
+class FileInfoApp {
+ public:
+  static Result<FileInfoReport> Run(SimKernel& kernel, Process& process, std::string_view path);
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_APPS_FILE_INFO_H_

@@ -1,0 +1,118 @@
+#include "src/apps/fimhisto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/apps/fits_scan.h"
+
+namespace sled {
+namespace {
+
+// Pass 1: byte-for-byte copy of the whole input file (header + data unit).
+Result<void> CopyFile(SimKernel& kernel, Process& process, int in_fd, std::string_view output,
+                      int* out_fd) {
+  SLED_ASSIGN_OR_RETURN(*out_fd, kernel.Create(process, output));
+  SLED_RETURN_IF_ERROR(kernel.Lseek(process, in_fd, 0, Whence::kSet));
+  std::vector<char> buf(static_cast<size_t>(64 * kKiB));
+  while (true) {
+    SLED_ASSIGN_OR_RETURN(int64_t n,
+                          kernel.Read(process, in_fd, std::span<char>(buf.data(), buf.size())));
+    if (n == 0) {
+      return Result<void>::Ok();
+    }
+    SLED_ASSIGN_OR_RETURN(
+        int64_t w, kernel.Write(process, *out_fd,
+                                std::span<const char>(buf.data(), static_cast<size_t>(n))));
+    if (w != n) {
+      return Err::kIo;
+    }
+  }
+}
+
+}  // namespace
+
+Result<FimhistoResult> FimhistoApp::Run(SimKernel& kernel, Process& process,
+                                        std::string_view input, std::string_view output,
+                                        const FimhistoOptions& options) {
+  if (options.num_bins <= 0) {
+    return Err::kInval;
+  }
+  SLED_ASSIGN_OR_RETURN(int in_fd, kernel.Open(process, input));
+  SLED_ASSIGN_OR_RETURN(FitsHeader header, FitsReadHeader(kernel, process, in_fd));
+
+  // ---- pass 1: copy ----
+  int out_fd = -1;
+  {
+    auto copied = CopyFile(kernel, process, in_fd, output, &out_fd);
+    if (!copied.ok()) {
+      (void)kernel.Close(process, in_fd);
+      return copied.error();
+    }
+  }
+
+  // ---- pass 2: min/max (with format conversion) ----
+  FimhistoResult result;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  SLED_RETURN_IF_ERROR(FitsScanElements(
+      kernel, process, in_fd, header, options.use_sleds, options.buffer_elements, options.costs,
+      [&](int64_t /*first*/, std::span<const double> values) {
+        for (double v : values) {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        kernel.ChargeAppCpu(process,
+                            options.costs.image_per_element *
+                                static_cast<int64_t>(values.size()));
+      }));
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 0.0;
+  }
+  result.min_value = lo;
+  result.max_value = hi;
+
+  // ---- pass 3: bin ----
+  result.bins.assign(static_cast<size_t>(options.num_bins), 0);
+  const double width = hi > lo ? (hi - lo) / options.num_bins : 1.0;
+  SLED_RETURN_IF_ERROR(FitsScanElements(
+      kernel, process, in_fd, header, options.use_sleds, options.buffer_elements, options.costs,
+      [&](int64_t /*first*/, std::span<const double> values) {
+        for (double v : values) {
+          int bin = static_cast<int>((v - lo) / width);
+          bin = std::clamp(bin, 0, options.num_bins - 1);
+          ++result.bins[static_cast<size_t>(bin)];
+        }
+        kernel.ChargeAppCpu(process,
+                            options.costs.image_per_element *
+                                static_cast<int64_t>(values.size()));
+      }));
+
+  // Append the histogram to the output as a small extension: one header
+  // block plus the bins as big-endian doubles, padded to the FITS block.
+  {
+    std::string ext;
+    char card[128];
+    std::snprintf(card, sizeof(card), "XTENSION= 'HISTOGRAM'  NBINS = %d  MIN = %g  MAX = %g",
+                  options.num_bins, lo, hi);
+    ext = card;
+    ext.resize(static_cast<size_t>(kFitsBlock), ' ');
+    std::string data;
+    char scratch[8];
+    for (int64_t count : result.bins) {
+      FitsEncodePixel(static_cast<double>(count), -64, scratch);
+      data.append(scratch, 8);
+    }
+    data.resize(((data.size() + kFitsBlock - 1) / kFitsBlock) * kFitsBlock, '\0');
+    ext += data;
+    SLED_RETURN_IF_ERROR(kernel.Lseek(process, out_fd, 0, Whence::kEnd));
+    SLED_RETURN_IF_ERROR(
+        kernel.Write(process, out_fd, std::span<const char>(ext.data(), ext.size())));
+  }
+  SLED_RETURN_IF_ERROR(kernel.Close(process, in_fd));
+  SLED_RETURN_IF_ERROR(kernel.Close(process, out_fd));
+  return result;
+}
+
+}  // namespace sled

@@ -1,0 +1,47 @@
+// fimhisto — LHEASOFT image histogram tool (paper §5.3).
+//
+// "fimhisto copies an input data image file to an output file and appends an
+// additional data column containing a histogram of the pixel values. It is
+// implemented in three passes. The first pass copies the main data unit
+// without any processing. The second pass reads the data again (including
+// performing a data format conversion, if necessary) to prepare for binning
+// the data into the histogram. The third pass performs the actual binning
+// operation, then appends the histogram to the output file."
+//
+// The SLEDs adaptation reorders passes two and three through the ff* layer;
+// pass one remains a sequential copy, exactly as in the paper.
+#ifndef SLEDS_SRC_APPS_FIMHISTO_H_
+#define SLEDS_SRC_APPS_FIMHISTO_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/apps/app_costs.h"
+#include "src/common/result.h"
+#include "src/fits/fits.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace sled {
+
+struct FimhistoOptions {
+  bool use_sleds = false;
+  int num_bins = 64;
+  int64_t buffer_elements = 16 * 1024;
+  AppCpuCosts costs;
+};
+
+struct FimhistoResult {
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::vector<int64_t> bins;
+};
+
+class FimhistoApp {
+ public:
+  static Result<FimhistoResult> Run(SimKernel& kernel, Process& process, std::string_view input,
+                                    std::string_view output, const FimhistoOptions& options);
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_APPS_FIMHISTO_H_

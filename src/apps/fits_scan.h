@@ -1,0 +1,27 @@
+// Shared element-scan driver for the LHEASOFT-style tools: iterate over every
+// data element of an open FITS file exactly once, either sequentially (plain
+// builds) or in the order advised by the ff* SLEDs layer, decoding pixels to
+// double and charging conversion CPU.
+#ifndef SLEDS_SRC_APPS_FITS_SCAN_H_
+#define SLEDS_SRC_APPS_FITS_SCAN_H_
+
+#include <functional>
+
+#include "src/apps/app_costs.h"
+#include "src/common/result.h"
+#include "src/fits/fits.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace sled {
+
+// Called with (index of first element in the run, decoded values).
+using ElementRunFn = std::function<void(int64_t, std::span<const double>)>;
+
+// Scan all elements of the image once. `buffer_elements` bounds each run.
+Result<void> FitsScanElements(SimKernel& kernel, Process& process, int fd,
+                              const FitsHeader& header, bool use_sleds, int64_t buffer_elements,
+                              const AppCpuCosts& costs, const ElementRunFn& fn);
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_APPS_FITS_SCAN_H_

@@ -1,0 +1,201 @@
+#include "src/cache/page_cache.h"
+
+#include <algorithm>
+
+namespace sled {
+
+PageCache::PageCache(PageCacheConfig config) : config_(config) {
+  SLED_CHECK(config_.capacity_pages > 0, "page cache needs capacity");
+}
+
+bool PageCache::Touch(PageKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  if (config_.policy == ReplacementPolicy::kLru) {
+    order_.splice(order_.end(), order_, it->second.lru_it);
+  } else {
+    it->second.referenced = true;
+  }
+  return true;
+}
+
+std::optional<EvictedPage> PageCache::Insert(PageKey key, bool dirty) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Re-insert of a resident page: refresh recency, accumulate dirtiness.
+    it->second.dirty = it->second.dirty || dirty;
+    if (config_.policy == ReplacementPolicy::kLru) {
+      order_.splice(order_.end(), order_, it->second.lru_it);
+    } else {
+      it->second.referenced = true;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<EvictedPage> evicted;
+  if (size_pages() >= config_.capacity_pages) {
+    evicted = EvictOne();
+  }
+  order_.push_back(key);
+  Entry entry;
+  entry.lru_it = std::prev(order_.end());
+  entry.dirty = dirty;
+  entry.referenced = false;  // Clock inserts behind the hand, one sweep to live
+  entries_.emplace(key, entry);
+  ++stats_.insertions;
+  return evicted;
+}
+
+EvictedPage PageCache::EvictOne() {
+  SLED_CHECK(!order_.empty(), "evicting from empty cache");
+  // Walk the ring from the front, skipping pinned pages. Under Clock,
+  // referenced pages get their bit cleared and cycle to the back (second
+  // chance); a second sweep then finds a victim. Pin() bounds pinned pages
+  // to half the capacity, so an unpinned victim always exists.
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    auto it = order_.begin();
+    while (it != order_.end()) {
+      auto entry_it = entries_.find(*it);
+      SLED_CHECK(entry_it != entries_.end(), "ring out of sync with entry map");
+      if (entry_it->second.pinned) {
+        ++it;
+        continue;
+      }
+      if (config_.policy == ReplacementPolicy::kClock && entry_it->second.referenced) {
+        entry_it->second.referenced = false;
+        auto next = std::next(it);
+        order_.splice(order_.end(), order_, it);
+        entry_it->second.lru_it = std::prev(order_.end());
+        it = next;
+        continue;
+      }
+      const PageKey victim = *it;
+      EvictedPage evicted{victim, entry_it->second.dirty};
+      order_.erase(it);
+      entries_.erase(entry_it);
+      ++stats_.evictions;
+      if (evicted.dirty) {
+        ++stats_.dirty_evictions;
+      }
+      return evicted;
+    }
+  }
+  SLED_CHECK(false, "no evictable page (all pinned?)");
+  return {};
+}
+
+bool PageCache::Pin(PageKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || pinned_ >= config_.capacity_pages / 2) {
+    return false;
+  }
+  if (!it->second.pinned) {
+    it->second.pinned = true;
+    ++pinned_;
+  }
+  return true;
+}
+
+void PageCache::Unpin(PageKey key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.pinned) {
+    it->second.pinned = false;
+    --pinned_;
+  }
+}
+
+bool PageCache::IsPinned(PageKey key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.pinned;
+}
+
+void PageCache::MarkDirty(PageKey key) {
+  auto it = entries_.find(key);
+  SLED_CHECK(it != entries_.end(), "MarkDirty on non-resident page");
+  it->second.dirty = true;
+}
+
+bool PageCache::IsDirty(PageKey key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.dirty;
+}
+
+void PageCache::Remove(PageKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  if (it->second.pinned) {
+    --pinned_;
+  }
+  order_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void PageCache::RemoveFile(FileId file) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.file == file) {
+      if (it->second.pinned) {
+        --pinned_;
+      }
+      order_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<PageKey> PageCache::DirtyPagesOf(FileId file) const {
+  std::vector<PageKey> dirty;
+  for (const auto& [key, entry] : entries_) {
+    if (key.file == file && entry.dirty) {
+      dirty.push_back(key);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const PageKey& a, const PageKey& b) { return a.page < b.page; });
+  return dirty;
+}
+
+std::vector<PageKey> PageCache::AllDirtyPages() const {
+  std::vector<PageKey> dirty;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.dirty) {
+      dirty.push_back(key);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end(), [](const PageKey& a, const PageKey& b) {
+    return a.file != b.file ? a.file < b.file : a.page < b.page;
+  });
+  return dirty;
+}
+
+void PageCache::Clear() {
+  entries_.clear();
+  order_.clear();
+  pinned_ = 0;
+}
+
+void PageCache::MarkClean(PageKey key) {
+  auto it = entries_.find(key);
+  SLED_CHECK(it != entries_.end(), "MarkClean on non-resident page");
+  it->second.dirty = false;
+}
+
+std::vector<int64_t> PageCache::ResidentPagesOf(FileId file) const {
+  std::vector<int64_t> pages;
+  for (const auto& [key, entry] : entries_) {
+    if (key.file == file) {
+      pages.push_back(key.page);
+    }
+  }
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+}  // namespace sled

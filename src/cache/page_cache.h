@@ -1,0 +1,149 @@
+// The file-system buffer cache.
+//
+// A fixed pool of page frames shared by every file in the system, indexed by
+// (file, page index). Replacement is pluggable: LRU (the Linux 2.2 behaviour
+// the paper measured — its Figure 3 walks through exactly this policy) or
+// Clock/second-chance for ablation studies.
+//
+// The cache tracks residency and dirtiness only; page *contents* live in the
+// file systems' backing stores (this is a performance simulation, the data
+// plane is handled by the FS layer).
+#ifndef SLEDS_SRC_CACHE_PAGE_CACHE_H_
+#define SLEDS_SRC_CACHE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/log.h"
+
+namespace sled {
+
+// Globally unique file identity (file-system id + inode number packed by the
+// VFS layer).
+using FileId = uint64_t;
+
+struct PageKey {
+  FileId file = 0;
+  int64_t page = 0;  // page index within the file
+
+  friend bool operator==(const PageKey&, const PageKey&) = default;
+};
+
+struct PageKeyHash {
+  size_t operator()(const PageKey& k) const {
+    // 64-bit mix of the two fields (splitmix-style finalizer).
+    uint64_t x = k.file * 0x9E3779B97F4A7C15ull ^ static_cast<uint64_t>(k.page);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+enum class ReplacementPolicy { kLru, kClock };
+
+struct PageCacheConfig {
+  int64_t capacity_pages = 0;
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+};
+
+struct PageCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;      // Touch() calls that found nothing
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+  int64_t dirty_evictions = 0;
+};
+
+// A page pushed out by an insertion; dirty pages need writeback by the caller.
+struct EvictedPage {
+  PageKey key;
+  bool dirty = false;
+};
+
+class PageCache {
+ public:
+  explicit PageCache(PageCacheConfig config);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // Residency probe without touching replacement state. This is what the
+  // kernel SLED scan uses: observing the cache must not perturb it.
+  bool Contains(PageKey key) const { return entries_.contains(key); }
+
+  // Access a page: on hit, updates recency and returns true; on miss returns
+  // false (caller schedules device I/O and then Insert()s).
+  bool Touch(PageKey key);
+
+  // Insert a page (newly read, or newly written when `dirty`). If the cache
+  // is full, evicts one page chosen by the policy and returns it. Inserting a
+  // resident page refreshes recency and ORs in dirtiness instead.
+  std::optional<EvictedPage> Insert(PageKey key, bool dirty);
+
+  // Mark a resident page dirty. Requires residency.
+  void MarkDirty(PageKey key);
+  bool IsDirty(PageKey key) const;
+
+  // Pin a resident page: pinned pages are never chosen for eviction (the
+  // substrate for SLED locks, paper §3.4: "Adding a lock or reservation
+  // mechanism would improve the accuracy and lifetime of SLEDs"). To keep
+  // eviction always possible, at most half the capacity may be pinned;
+  // beyond that Pin() refuses. Pinning a non-resident page also fails.
+  bool Pin(PageKey key);
+  void Unpin(PageKey key);
+  bool IsPinned(PageKey key) const;
+  int64_t pinned_pages() const { return pinned_; }
+
+  // Drop a page / every page of a file (truncate, unlink). Dirty contents are
+  // discarded — callers flush first if the data matters.
+  void Remove(PageKey key);
+  void RemoveFile(FileId file);
+
+  // Dirty pages of one file, in page order (fsync support).
+  std::vector<PageKey> DirtyPagesOf(FileId file) const;
+  // Every dirty page in the cache, ordered by (file, page) — shutdown flush.
+  std::vector<PageKey> AllDirtyPages() const;
+  // Drop everything, dirty or not (callers flush first if contents matter).
+  void Clear();
+  // Clear the dirty bit after writeback.
+  void MarkClean(PageKey key);
+
+  int64_t size_pages() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t capacity_pages() const { return config_.capacity_pages; }
+  const PageCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PageCacheStats{}; }
+
+  // Resident pages of a file, in page order (used by tests and the Fig 3
+  // cache-state printer).
+  std::vector<int64_t> ResidentPagesOf(FileId file) const;
+
+ private:
+  struct Entry {
+    std::list<PageKey>::iterator lru_it;  // valid under kLru
+    bool dirty = false;
+    bool referenced = false;  // Clock reference bit
+    bool pinned = false;      // exempt from eviction (SLED lock)
+  };
+
+  // Pick and remove a victim according to the policy. Requires non-empty.
+  EvictedPage EvictOne();
+
+  PageCacheConfig config_;
+  std::unordered_map<PageKey, Entry, PageKeyHash> entries_;
+  // kLru: recency list, least-recently-used at front.
+  // kClock: FIFO ring; entries get a second chance via `referenced`.
+  std::list<PageKey> order_;
+  PageCacheStats stats_;
+  int64_t pinned_ = 0;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_CACHE_PAGE_CACHE_H_

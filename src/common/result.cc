@@ -1,0 +1,39 @@
+#include "src/common/result.h"
+
+namespace sled {
+
+std::string_view ErrName(Err e) {
+  switch (e) {
+    case Err::kOk:
+      return "OK";
+    case Err::kNoEnt:
+      return "ENOENT";
+    case Err::kExist:
+      return "EEXIST";
+    case Err::kBadF:
+      return "EBADF";
+    case Err::kInval:
+      return "EINVAL";
+    case Err::kNoSpc:
+      return "ENOSPC";
+    case Err::kIsDir:
+      return "EISDIR";
+    case Err::kNotDir:
+      return "ENOTDIR";
+    case Err::kRofs:
+      return "EROFS";
+    case Err::kNotSup:
+      return "ENOTSUP";
+    case Err::kIo:
+      return "EIO";
+    case Err::kNotEmpty:
+      return "ENOTEMPTY";
+    case Err::kNameTooLong:
+      return "ENAMETOOLONG";
+    case Err::kXDev:
+      return "EXDEV";
+  }
+  return "E?";
+}
+
+}  // namespace sled

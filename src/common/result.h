@@ -1,0 +1,113 @@
+// Errno-style error codes and a small Result<T> for the syscall boundary.
+//
+// The VFS mimics Unix semantics: operations fail with an error code, not an
+// exception (Core Guidelines I.10 notwithstanding, a simulated kernel's ABI is
+// exactly the place to "encapsulate rule violations", I.30). Exceptions remain
+// reserved for programmer errors (SLED_CHECK).
+#ifndef SLEDS_SRC_COMMON_RESULT_H_
+#define SLEDS_SRC_COMMON_RESULT_H_
+
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "src/common/log.h"
+
+namespace sled {
+
+enum class Err {
+  kOk = 0,
+  kNoEnt,       // no such file or directory
+  kExist,       // file already exists
+  kBadF,        // bad file descriptor
+  kInval,       // invalid argument
+  kNoSpc,       // device out of space
+  kIsDir,       // is a directory
+  kNotDir,      // not a directory
+  kRofs,        // read-only file system
+  kNotSup,      // operation not supported
+  kIo,          // low-level I/O error
+  kNotEmpty,    // directory not empty
+  kNameTooLong, // path component too long
+  kXDev,        // cross-device link
+};
+
+std::string_view ErrName(Err e);
+
+// Result<T>: either a value or an error code. Result<void> holds only status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Err e) : v_(e) { SLED_CHECK(e != Err::kOk, "error Result requires a real error"); }  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  Err error() const { return ok() ? Err::kOk : std::get<Err>(v_); }
+
+  T& value() & {
+    SLED_CHECK(ok(), "value() on error Result: %s", ErrName(error()).data());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    SLED_CHECK(ok(), "value() on error Result: %s", ErrName(error()).data());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    SLED_CHECK(ok(), "value() on error Result: %s", ErrName(error()).data());
+    return std::get<T>(std::move(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? std::get<T>(v_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Err> v_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : e_(Err::kOk) {}
+  Result(Err e) : e_(e) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return e_ == Err::kOk; }
+  explicit operator bool() const { return ok(); }
+  Err error() const { return e_; }
+
+  static Result Ok() { return Result(); }
+
+ private:
+  Err e_;
+};
+
+// Propagate an error from an expression yielding a Result.
+#define SLED_RETURN_IF_ERROR(expr)         \
+  do {                                     \
+    auto sled_status_ = (expr);            \
+    if (!sled_status_.ok()) {              \
+      return sled_status_.error();         \
+    }                                      \
+  } while (0)
+
+// Evaluate `rexpr` (a Result<T>), return its error on failure, otherwise bind
+// the value to `lhs`. Usage: SLED_ASSIGN_OR_RETURN(auto fd, vfs.Open(path));
+#define SLED_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  SLED_ASSIGN_OR_RETURN_IMPL_(SLED_CONCAT_(sled_res_, __LINE__), lhs, rexpr)
+#define SLED_CONCAT_INNER_(a, b) a##b
+#define SLED_CONCAT_(a, b) SLED_CONCAT_INNER_(a, b)
+#define SLED_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) {                                   \
+    return tmp.error();                              \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_COMMON_RESULT_H_

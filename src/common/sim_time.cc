@@ -1,0 +1,22 @@
+#include "src/common/sim_time.h"
+
+#include <cstdio>
+
+namespace sled {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  const double abs_ns = static_cast<double>(nanos_ < 0 ? -nanos_ : nanos_);
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(nanos_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ToMicros());
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ToMillis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ToSeconds());
+  }
+  return buf;
+}
+
+}  // namespace sled

@@ -1,0 +1,102 @@
+// Virtual time for the storage simulator.
+//
+// All device service times, CPU charges, and application elapsed times are
+// expressed as `Duration` (integer nanoseconds, signed 64-bit: enough for
+// ±292 years, far beyond any tape mount). `TimePoint` is a duration since the
+// simulation epoch. Integer representation keeps runs exactly reproducible.
+#ifndef SLEDS_SRC_COMMON_SIM_TIME_H_
+#define SLEDS_SRC_COMMON_SIM_TIME_H_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace sled {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(int64_t nanos) : nanos_(nanos) {}
+
+  constexpr int64_t nanos() const { return nanos_; }
+  constexpr double ToSeconds() const { return static_cast<double>(nanos_) * 1e-9; }
+  constexpr double ToMillis() const { return static_cast<double>(nanos_) * 1e-6; }
+  constexpr double ToMicros() const { return static_cast<double>(nanos_) * 1e-3; }
+
+  constexpr bool IsZero() const { return nanos_ == 0; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(nanos_ + other.nanos_); }
+  constexpr Duration operator-(Duration other) const { return Duration(nanos_ - other.nanos_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(nanos_ * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(nanos_ / k); }
+  constexpr Duration& operator+=(Duration other) {
+    nanos_ += other.nanos_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    nanos_ -= other.nanos_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  // Human-readable rendering with an auto-selected unit ("1.250 ms").
+  std::string ToString() const;
+
+ private:
+  int64_t nanos_ = 0;
+};
+
+constexpr Duration Nanoseconds(int64_t n) { return Duration(n); }
+constexpr Duration Microseconds(int64_t n) { return Duration(n * 1000); }
+constexpr Duration Milliseconds(int64_t n) { return Duration(n * 1000 * 1000); }
+constexpr Duration Seconds(int64_t n) { return Duration(n * 1000 * 1000 * 1000); }
+
+// Floating-point construction, rounding to the nearest nanosecond. Not
+// constexpr because std::llround is not constexpr in C++20.
+inline Duration SecondsF(double s) { return Duration(static_cast<int64_t>(std::llround(s * 1e9))); }
+inline Duration MillisecondsF(double ms) {
+  return Duration(static_cast<int64_t>(std::llround(ms * 1e6)));
+}
+inline Duration MicrosecondsF(double us) {
+  return Duration(static_cast<int64_t>(std::llround(us * 1e3)));
+}
+
+// Time to move `bytes` bytes at `bytes_per_sec` (pure transfer, no latency).
+inline Duration TransferTime(int64_t bytes, double bytes_per_sec) {
+  return SecondsF(static_cast<double>(bytes) / bytes_per_sec);
+}
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(Duration since_epoch) : since_epoch_(since_epoch) {}
+
+  constexpr Duration since_epoch() const { return since_epoch_; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(since_epoch_ + d); }
+  constexpr Duration operator-(TimePoint other) const { return since_epoch_ - other.since_epoch_; }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  Duration since_epoch_;
+};
+
+// The simulation clock. Single-threaded: components advance it as they charge
+// service or CPU time. Owned by the SimKernel; passed by reference downward.
+class SimClock {
+ public:
+  SimClock() = default;
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  TimePoint Now() const { return now_; }
+  void Advance(Duration d) { now_ = now_ + d; }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_COMMON_SIM_TIME_H_

@@ -1,0 +1,95 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/log.h"
+
+namespace sled {
+
+double TCritical90(size_t dof) {
+  // Two-sided 90% (alpha = 0.10) critical values of Student's t.
+  static constexpr double kTable[] = {
+      0.0,    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+      1.796,  1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721,
+      1.717,  1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+  };
+  constexpr size_t kMax = sizeof(kTable) / sizeof(kTable[0]) - 1;
+  if (dof == 0) {
+    return 0.0;
+  }
+  if (dof <= kMax) {
+    return kTable[dof];
+  }
+  return 1.645;  // normal approximation for large dof
+}
+
+Summary Summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (s.n == 0) {
+    return s;
+  }
+  double sum = 0.0;
+  for (double v : samples) {
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double ss = 0.0;
+    for (double v : samples) {
+      ss += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+    s.ci90_half_width = TCritical90(s.n - 1) * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::At(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Cdf::Quantile(double p) const {
+  SLED_CHECK(!sorted_.empty(), "Quantile of empty CDF");
+  SLED_CHECK(p >= 0.0 && p <= 1.0, "Quantile p out of range: %f", p);
+  if (sorted_.size() == 1) {
+    return sorted_[0];
+  }
+  const double pos = p * static_cast<double>(sorted_.size() - 1);
+  const size_t i = static_cast<size_t>(pos);
+  if (i + 1 >= sorted_.size()) {
+    return sorted_.back();
+  }
+  const double frac = pos - static_cast<double>(i);
+  return sorted_[i] * (1.0 - frac) + sorted_[i + 1] * frac;
+}
+
+std::string FormatSeries(const std::string& title, const std::string& x_label,
+                         const std::string& y_label, const std::vector<SeriesPoint>& points) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "# %s\n# y = %s\n", title.c_str(), y_label.c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-16s %14s %12s %14s %12s %10s\n", x_label.c_str(),
+                "with-SLEDs", "ci90", "without", "ci90", "speedup");
+  out += buf;
+  for (const SeriesPoint& p : points) {
+    std::snprintf(buf, sizeof(buf), "%-16.1f %14.4f %12.4f %14.4f %12.4f %10.2f\n", p.x,
+                  p.with_sleds.mean, p.with_sleds.ci90_half_width, p.without_sleds.mean,
+                  p.without_sleds.ci90_half_width, p.speedup());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sled

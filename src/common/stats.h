@@ -1,0 +1,70 @@
+// Statistics used by the experiment harness: per-configuration summaries with
+// 90% confidence intervals (the paper reports mean and 90% CI over 12 runs),
+// and empirical CDFs (paper Figure 13).
+#ifndef SLEDS_SRC_COMMON_STATS_H_
+#define SLEDS_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sled {
+
+// Summary of a sample: mean, standard deviation, and the half-width of the
+// two-sided 90% confidence interval on the mean (Student's t).
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci90_half_width = 0.0;
+  size_t n = 0;
+
+  double lo() const { return mean - ci90_half_width; }
+  double hi() const { return mean + ci90_half_width; }
+};
+
+Summary Summarize(const std::vector<double>& samples);
+
+// Two-sided 90% Student-t critical value for `dof` degrees of freedom.
+double TCritical90(size_t dof);
+
+// Empirical cumulative distribution function over a sample.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  // Fraction of samples <= x, in [0, 1].
+  double At(double x) const;
+
+  // The p-quantile (p in [0, 1]); p = 0.5 is the median.
+  double Quantile(double p) const;
+
+  double min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+  double max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+  size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// One (x, with, without) row of a paper-style figure: a sweep point plus the
+// two measured conditions.
+struct SeriesPoint {
+  double x = 0.0;
+  Summary with_sleds;
+  Summary without_sleds;
+
+  double speedup() const {
+    return with_sleds.mean > 0.0 ? without_sleds.mean / with_sleds.mean : 0.0;
+  }
+};
+
+// Render a table of series points: header, one row per point, columns for the
+// two conditions with CI and the improvement ratio. `x_label`/`y_label` name
+// the axes (e.g. "File size (MB)", "Execution time (s)").
+std::string FormatSeries(const std::string& title, const std::string& x_label,
+                         const std::string& y_label, const std::vector<SeriesPoint>& points);
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_COMMON_STATS_H_

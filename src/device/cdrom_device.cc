@@ -1,0 +1,21 @@
+#include "src/device/cdrom_device.h"
+
+#include <cmath>
+
+namespace sled {
+
+// Writes are permitted at media rate so testbeds can master a disc (CD-R
+// burn); the IsoFs enforces read-only semantics once sealed.
+Duration CdRomDevice::Access(int64_t offset, int64_t nbytes, bool /*writing*/) {
+  Duration t = config_.per_request_overhead + TransferTime(nbytes, config_.bandwidth_bps);
+  if (offset != head_position_) {
+    // Settle time varies a little run to run (laser refocus, CLV respin).
+    const double jitter = 0.9 + 0.2 * rng_.UniformDouble();
+    t += SecondsF(SeekTime(head_position_, offset).ToSeconds() * jitter);
+    CountReposition();
+  }
+  head_position_ = offset + nbytes;
+  return t;
+}
+
+}  // namespace sled

@@ -1,0 +1,62 @@
+// CD-ROM model: slow, re-clamping seeks and constant-linear-velocity
+// streaming. Matches the paper's ISO9660 testbed (Table 2: 130 ms, 2.8 MB/s).
+#ifndef SLEDS_SRC_DEVICE_CDROM_DEVICE_H_
+#define SLEDS_SRC_DEVICE_CDROM_DEVICE_H_
+
+#include "src/common/rng.h"
+#include "src/device/device.h"
+
+namespace sled {
+
+struct CdRomDeviceConfig {
+  int64_t capacity_bytes = 650LL * 1024 * 1024;
+
+  // Seek time grows linearly with distance: a short hop still pays laser
+  // settle + CLV respin; a full-stroke seek pays the maximum. Uniform-average
+  // = min + slope/2 = 130 ms with the defaults.
+  Duration min_seek = Milliseconds(80);
+  Duration full_stroke_extra = Milliseconds(100);
+
+  double bandwidth_bps = 2.8e6;  // ~18x drive
+  // Per-command cost (ATAPI command + ECC pipeline restart).
+  Duration per_request_overhead = Milliseconds(1);
+  uint64_t seed = 2;
+};
+
+class CdRomDevice final : public StorageDevice {
+ public:
+  explicit CdRomDevice(CdRomDeviceConfig config, std::string name = "cdrom")
+      : StorageDevice(std::move(name)), config_(config), rng_(config.seed) {}
+
+  DeviceCharacteristics Nominal() const override {
+    return {config_.min_seek + config_.full_stroke_extra / 2, config_.bandwidth_bps};
+  }
+
+  Duration Estimate(int64_t offset, int64_t nbytes) const override {
+    Duration t = TransferTime(nbytes, config_.bandwidth_bps);
+    if (offset != head_position_) {
+      t += SeekTime(head_position_, offset);
+    }
+    return t;
+  }
+
+  int64_t capacity_bytes() const override { return config_.capacity_bytes; }
+
+  Duration SeekTime(int64_t from, int64_t to) const {
+    const double dist =
+        std::abs(static_cast<double>(to - from)) / static_cast<double>(config_.capacity_bytes);
+    return config_.min_seek + SecondsF(config_.full_stroke_extra.ToSeconds() * dist);
+  }
+
+ protected:
+  Duration Access(int64_t offset, int64_t nbytes, bool writing) override;
+
+ private:
+  CdRomDeviceConfig config_;
+  Rng rng_;
+  int64_t head_position_ = -1;  // -1: position unknown, first access must seek
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_DEVICE_CDROM_DEVICE_H_

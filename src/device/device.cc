@@ -1,0 +1,31 @@
+#include "src/device/device.h"
+
+#include "src/common/log.h"
+
+namespace sled {
+
+Duration StorageDevice::Read(int64_t offset, int64_t nbytes) {
+  SLED_CHECK(offset >= 0 && nbytes > 0 && offset + nbytes <= capacity_bytes(),
+             "%s: read out of range: offset=%lld nbytes=%lld cap=%lld", name_.c_str(),
+             static_cast<long long>(offset), static_cast<long long>(nbytes),
+             static_cast<long long>(capacity_bytes()));
+  const Duration t = Access(offset, nbytes, /*writing=*/false);
+  ++stats_.reads;
+  stats_.bytes_read += nbytes;
+  stats_.busy_time += t;
+  return t;
+}
+
+Duration StorageDevice::Write(int64_t offset, int64_t nbytes) {
+  SLED_CHECK(offset >= 0 && nbytes > 0 && offset + nbytes <= capacity_bytes(),
+             "%s: write out of range: offset=%lld nbytes=%lld cap=%lld", name_.c_str(),
+             static_cast<long long>(offset), static_cast<long long>(nbytes),
+             static_cast<long long>(capacity_bytes()));
+  const Duration t = Access(offset, nbytes, /*writing=*/true);
+  ++stats_.writes;
+  stats_.bytes_written += nbytes;
+  stats_.busy_time += t;
+  return t;
+}
+
+}  // namespace sled

@@ -1,0 +1,87 @@
+// Abstract storage device model.
+//
+// Devices are *stateful*: the cost of an access depends on the device's
+// current mechanical or protocol position (disk head, tape position, stream
+// continuation). A sequential continuation costs pure transfer time; a
+// repositioning access additionally pays the device's positioning latency.
+// This is exactly the dynamic state the paper argues file interfaces hide and
+// SLEDs expose (§1).
+//
+// Addresses are byte offsets into a flat device address space; block/extent
+// layout is the file system's concern.
+#ifndef SLEDS_SRC_DEVICE_DEVICE_H_
+#define SLEDS_SRC_DEVICE_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/sim_time.h"
+
+namespace sled {
+
+// Nominal characteristics, the vocabulary of the kernel `sleds_table` (paper
+// Tables 2 and 3): latency to the first byte and streaming bandwidth.
+struct DeviceCharacteristics {
+  Duration latency;
+  double bandwidth_bps = 0.0;
+};
+
+// Running counters every device maintains.
+struct DeviceStats {
+  int64_t reads = 0;
+  int64_t writes = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  int64_t repositions = 0;  // accesses that paid positioning latency
+  Duration busy_time;
+};
+
+class StorageDevice {
+ public:
+  virtual ~StorageDevice() = default;
+
+  StorageDevice(const StorageDevice&) = delete;
+  StorageDevice& operator=(const StorageDevice&) = delete;
+
+  // Service time to read/write `nbytes` at byte `offset`. Updates positioning
+  // state and stats. Requires 0 <= offset, nbytes > 0,
+  // offset + nbytes <= capacity_bytes().
+  Duration Read(int64_t offset, int64_t nbytes);
+  Duration Write(int64_t offset, int64_t nbytes);
+
+  // Nominal (average-case) characteristics for the SLEDs table. For seekable
+  // media the latency is the average positioning cost, matching what an
+  // lmbench-style external characterization would measure.
+  virtual DeviceCharacteristics Nominal() const = 0;
+
+  // Estimated service time of a read at `offset` *without* performing it and
+  // without changing device state. The kernel uses Nominal() for SLEDs (the
+  // paper's implementation, §4.4); Estimate() enables the "more detailed
+  // mechanical estimates" extension.
+  virtual Duration Estimate(int64_t offset, int64_t nbytes) const = 0;
+
+  virtual int64_t capacity_bytes() const = 0;
+
+  std::string_view name() const { return name_; }
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DeviceStats{}; }
+
+ protected:
+  explicit StorageDevice(std::string name) : name_(std::move(name)) {}
+
+  // Device-specific service time; must update positioning state. `writing`
+  // distinguishes writes for devices with asymmetric costs.
+  virtual Duration Access(int64_t offset, int64_t nbytes, bool writing) = 0;
+
+  // Called by subclasses from Access() when an access paid positioning cost.
+  void CountReposition() { ++stats_.repositions; }
+
+ private:
+  std::string name_;
+  DeviceStats stats_;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_DEVICE_DEVICE_H_

@@ -1,0 +1,71 @@
+#include "src/device/disk_device.h"
+
+#include <cmath>
+
+#include "src/common/log.h"
+
+namespace sled {
+
+DiskDevice::DiskDevice(DiskDeviceConfig config, std::string name)
+    : StorageDevice(std::move(name)), config_(config), rng_(config.seed) {
+  SLED_CHECK(config_.capacity_bytes > 0, "disk capacity must be positive");
+  SLED_CHECK(config_.num_zones >= 1, "disk needs at least one zone");
+  SLED_CHECK(config_.min_seek <= config_.max_seek, "min_seek > max_seek");
+}
+
+double DiskDevice::BandwidthAt(int64_t offset) const {
+  // Zone index grows toward the inner (slower) tracks.
+  const int zone = static_cast<int>((offset * config_.num_zones) / config_.capacity_bytes);
+  const int clamped = zone >= config_.num_zones ? config_.num_zones - 1 : zone;
+  if (config_.num_zones == 1) {
+    return (config_.outer_bandwidth_bps + config_.inner_bandwidth_bps) / 2.0;
+  }
+  const double frac = static_cast<double>(clamped) / static_cast<double>(config_.num_zones - 1);
+  return config_.outer_bandwidth_bps +
+         frac * (config_.inner_bandwidth_bps - config_.outer_bandwidth_bps);
+}
+
+Duration DiskDevice::SeekTime(int64_t from, int64_t to) const {
+  const double dist = std::abs(static_cast<double>(to - from)) /
+                      static_cast<double>(config_.capacity_bytes);
+  if (dist == 0.0) {
+    return Duration();
+  }
+  const double min_s = config_.min_seek.ToSeconds();
+  const double max_s = config_.max_seek.ToSeconds();
+  return SecondsF(min_s + (max_s - min_s) * std::sqrt(dist));
+}
+
+DeviceCharacteristics DiskDevice::Nominal() const {
+  // Average seek over uniformly random stroke fraction d: E[sqrt(d)] = 2/3.
+  const double min_s = config_.min_seek.ToSeconds();
+  const double max_s = config_.max_seek.ToSeconds();
+  const Duration avg_seek = SecondsF(min_s + (max_s - min_s) * (2.0 / 3.0));
+  const Duration half_rotation = RotationPeriod() / 2;
+  const double avg_bw =
+      (config_.outer_bandwidth_bps + config_.inner_bandwidth_bps) / 2.0;
+  return {avg_seek + half_rotation, avg_bw};
+}
+
+Duration DiskDevice::Estimate(int64_t offset, int64_t nbytes) const {
+  Duration t = TransferTime(nbytes, BandwidthAt(offset));
+  if (!IsSequential(offset)) {
+    t += SeekTime(head_position_, offset) + RotationPeriod() / 2;
+  }
+  return t;
+}
+
+Duration DiskDevice::Access(int64_t offset, int64_t nbytes, bool /*writing*/) {
+  Duration t = config_.per_request_overhead + TransferTime(nbytes, BandwidthAt(offset));
+  if (!IsSequential(offset)) {
+    // Rotational phase is effectively random on a reposition.
+    const Duration rotation =
+        SecondsF(rng_.UniformDouble() * RotationPeriod().ToSeconds());
+    t += SeekTime(head_position_, offset) + rotation;
+    CountReposition();
+  }
+  head_position_ = offset + nbytes;
+  return t;
+}
+
+}  // namespace sled

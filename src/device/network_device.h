@@ -1,0 +1,67 @@
+// Network storage model: an NFS-style remote store. A fresh request stream
+// pays the full round-trip-plus-server-disk latency; a sequential
+// continuation is served from server readahead at wire bandwidth. Matches the
+// paper's NFS testbed (Table 2: 270 ms first-byte, 1.0 MB/s — lmbench numbers
+// over 10 Mb ethernet with server disk in the path).
+#ifndef SLEDS_SRC_DEVICE_NETWORK_DEVICE_H_
+#define SLEDS_SRC_DEVICE_NETWORK_DEVICE_H_
+
+#include "src/common/rng.h"
+#include "src/device/device.h"
+
+namespace sled {
+
+struct NetworkDeviceConfig {
+  int64_t capacity_bytes = 4LL * 1024 * 1024 * 1024;
+  Duration first_byte_latency = Milliseconds(270);
+  double bandwidth_bps = 1.0e6;
+  // Per-RPC cost even within a server-readahead stream (request send, server
+  // wakeup, reply header) — the component kernel readahead amortizes.
+  Duration per_request_overhead = Milliseconds(2);
+  // Fractional jitter on the latency component (network queueing, server
+  // cache state); 0 disables.
+  double latency_jitter = 0.15;
+  uint64_t seed = 3;
+};
+
+class NetworkDevice final : public StorageDevice {
+ public:
+  explicit NetworkDevice(NetworkDeviceConfig config, std::string name = "nfs")
+      : StorageDevice(std::move(name)), config_(config), rng_(config.seed) {}
+
+  DeviceCharacteristics Nominal() const override {
+    return {config_.first_byte_latency, config_.bandwidth_bps};
+  }
+
+  Duration Estimate(int64_t offset, int64_t nbytes) const override {
+    Duration t = TransferTime(nbytes, config_.bandwidth_bps);
+    if (offset != stream_position_) {
+      t += config_.first_byte_latency;
+    }
+    return t;
+  }
+
+  int64_t capacity_bytes() const override { return config_.capacity_bytes; }
+
+ protected:
+  Duration Access(int64_t offset, int64_t nbytes, bool /*writing*/) override {
+    Duration t = config_.per_request_overhead + TransferTime(nbytes, config_.bandwidth_bps);
+    if (offset != stream_position_) {
+      const double jitter =
+          1.0 + config_.latency_jitter * (2.0 * rng_.UniformDouble() - 1.0);
+      t += SecondsF(config_.first_byte_latency.ToSeconds() * jitter);
+      CountReposition();
+    }
+    stream_position_ = offset + nbytes;
+    return t;
+  }
+
+ private:
+  NetworkDeviceConfig config_;
+  Rng rng_;
+  int64_t stream_position_ = -1;  // -1: no stream open yet
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_DEVICE_NETWORK_DEVICE_H_

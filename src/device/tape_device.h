@@ -1,0 +1,118 @@
+// Serpentine tape model and a robotic autochanger (jukebox).
+//
+// The paper motivates SLEDs with hierarchical storage management, where data
+// latency spans eleven orders of magnitude "up to hundreds of seconds for
+// tape mount and seek" (§1), and cites the Hillyer/Silberschatz and
+// Sandstå/Midstraum serpentine-tape locate models as natural SLEDs library
+// components (§2). This is a simplified locate-time model in that lineage:
+//
+//   * The tape records `num_tracks` longitudinal tracks, laid out serpentine:
+//     even tracks run forward, odd tracks run backward.
+//   * Locate cost = fixed overhead + longitudinal distance / locate speed
+//     + per-track-switch head realignment.
+//   * An unmounted tape pays load+thread time before any access; unloading
+//     rewinds first.
+//
+// The Autochanger holds a set of tapes in slots and a smaller set of drives;
+// accessing a tape that is not mounted costs a robot exchange (plus eviction
+// of the least-recently-used mounted tape when all drives are busy).
+#ifndef SLEDS_SRC_DEVICE_TAPE_DEVICE_H_
+#define SLEDS_SRC_DEVICE_TAPE_DEVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/device/device.h"
+
+namespace sled {
+
+struct TapeDeviceConfig {
+  int64_t capacity_bytes = 20LL * 1000 * 1000 * 1000;  // DLT-class cartridge
+  int num_tracks = 64;
+  double read_bandwidth_bps = 1.5e6;
+  double locate_bandwidth_bps = 150.0e6;  // high-speed locate, in bytes of track distance
+  Duration locate_overhead = Seconds(2);
+  Duration track_switch = MillisecondsF(500);
+  Duration load_time = Seconds(40);    // insert + thread + calibrate
+  Duration rewind_max = Seconds(90);   // full-length rewind
+};
+
+class TapeDevice final : public StorageDevice {
+ public:
+  explicit TapeDevice(TapeDeviceConfig config, std::string name = "tape");
+
+  DeviceCharacteristics Nominal() const override;
+  Duration Estimate(int64_t offset, int64_t nbytes) const override;
+  int64_t capacity_bytes() const override { return config_.capacity_bytes; }
+
+  bool mounted() const { return mounted_; }
+
+  // Explicit mount/unmount for autochanger control. Mount() threads the tape
+  // (no-op if already mounted); Unmount() rewinds proportionally to the
+  // current longitudinal position and unloads.
+  Duration Mount();
+  Duration Unmount();
+
+  // Locate-only cost from the current position (exposed for find -latency
+  // style estimates and tests).
+  Duration LocateTime(int64_t target_offset) const;
+
+  // Locate cost between two logical positions under a given geometry, without
+  // needing a device instance — the building block for locate-aware request
+  // scheduling (Hillyer/Silberschatz, Sandstå/Midstraum).
+  static Duration LocateBetween(const TapeDeviceConfig& config, int64_t from, int64_t to);
+
+  int64_t position() const { return position_; }
+  const TapeDeviceConfig& config() const { return config_; }
+
+ protected:
+  Duration Access(int64_t offset, int64_t nbytes, bool writing) override;
+
+ private:
+  int64_t TrackLength() const { return config_.capacity_bytes / config_.num_tracks; }
+  int TrackOf(int64_t offset) const;
+  // Physical longitudinal position (distance from the load point, in bytes of
+  // track length) of a logical offset under serpentine layout.
+  int64_t LongitudinalOf(int64_t offset) const;
+
+  TapeDeviceConfig config_;
+  bool mounted_ = false;
+  int64_t position_ = 0;  // logical byte position of the head
+};
+
+// Robotic media changer: `num_drives` TapeDevice drives fed from a library of
+// tapes. Tapes are addressed by index.
+class Autochanger {
+ public:
+  Autochanger(int num_tapes, int num_drives, TapeDeviceConfig tape_config,
+              Duration exchange_time = Seconds(10));
+
+  // Service time for accessing bytes on tape `tape_index`, including any
+  // robot exchange and mount required to get the tape into a drive.
+  Duration Read(int tape_index, int64_t offset, int64_t nbytes);
+  Duration Write(int tape_index, int64_t offset, int64_t nbytes);
+
+  // Estimated service time without changing state.
+  Duration Estimate(int tape_index, int64_t offset, int64_t nbytes) const;
+
+  bool IsMounted(int tape_index) const;
+  int num_tapes() const { return static_cast<int>(tapes_.size()); }
+  int num_drives() const { return num_drives_; }
+  const TapeDevice& tape(int index) const { return *tapes_[index]; }
+  int64_t exchanges() const { return exchanges_; }
+
+ private:
+  // Ensures the tape is mounted, returns the positioning cost (0 if already
+  // in a drive). Updates drive LRU order.
+  Duration EnsureMounted(int tape_index);
+
+  std::vector<std::unique_ptr<TapeDevice>> tapes_;
+  int num_drives_;
+  Duration exchange_time_;
+  std::vector<int> mounted_lru_;  // tape indices, most recently used last
+  int64_t exchanges_ = 0;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_DEVICE_TAPE_DEVICE_H_

@@ -1,0 +1,49 @@
+#include "src/device/tape_schedule.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace sled {
+
+std::vector<size_t> ScheduleTapeReads(const TapeDeviceConfig& config, int64_t start,
+                                      const std::vector<TapeRequest>& requests) {
+  std::vector<size_t> order;
+  order.reserve(requests.size());
+  std::vector<bool> served(requests.size(), false);
+  int64_t position = start;
+  for (size_t round = 0; round < requests.size(); ++round) {
+    size_t best = requests.size();
+    Duration best_cost;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (served[i]) {
+        continue;
+      }
+      const Duration cost = TapeDevice::LocateBetween(config, position, requests[i].offset);
+      if (best == requests.size() || cost < best_cost) {
+        best = i;
+        best_cost = cost;
+      }
+    }
+    SLED_CHECK(best < requests.size(), "scheduler lost a request");
+    served[best] = true;
+    order.push_back(best);
+    position = requests[best].offset + requests[best].length;
+  }
+  return order;
+}
+
+Duration TotalLocateTime(const TapeDeviceConfig& config, int64_t start,
+                         const std::vector<TapeRequest>& requests,
+                         const std::vector<size_t>& order) {
+  SLED_CHECK(order.size() == requests.size(), "order/request size mismatch");
+  Duration total;
+  int64_t position = start;
+  for (size_t idx : order) {
+    total += TapeDevice::LocateBetween(config, position, requests[idx].offset);
+    position = requests[idx].offset + requests[idx].length;
+  }
+  return total;
+}
+
+}  // namespace sled

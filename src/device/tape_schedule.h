@@ -1,0 +1,40 @@
+// Locate-aware ordering of tape read requests.
+//
+// The paper cites Hillyer & Silberschatz's DLT model and Sandstå &
+// Midstraum's simplified locate-time model as "good candidates to be
+// incorporated into SLEDs libraries, hiding the details of the tape drive
+// from application writers" (§2). This module is that candidate: given a set
+// of byte ranges on one serpentine tape, order them so the total locate time
+// is small (greedy nearest-neighbour under the locate-cost metric — within a
+// few percent of optimal for the sizes HSM recall batches see).
+#ifndef SLEDS_SRC_DEVICE_TAPE_SCHEDULE_H_
+#define SLEDS_SRC_DEVICE_TAPE_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/device/tape_device.h"
+
+namespace sled {
+
+struct TapeRequest {
+  int64_t offset = 0;
+  int64_t length = 0;
+};
+
+// Order for serving `requests` starting from head position `start`, as
+// indices into `requests`. Greedy: repeatedly serve the request with the
+// cheapest locate from the current position; the head then sits at the end
+// of that request.
+std::vector<size_t> ScheduleTapeReads(const TapeDeviceConfig& config, int64_t start,
+                                      const std::vector<TapeRequest>& requests);
+
+// Total locate time of serving `requests` in the given order from `start`
+// (transfer time excluded — it is order-independent).
+Duration TotalLocateTime(const TapeDeviceConfig& config, int64_t start,
+                         const std::vector<TapeRequest>& requests,
+                         const std::vector<size_t>& order);
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_DEVICE_TAPE_SCHEDULE_H_

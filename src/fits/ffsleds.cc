@@ -1,0 +1,108 @@
+#include "src/fits/ffsleds.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "src/sleds/c_api.h"
+
+namespace sled {
+
+Result<std::unique_ptr<FfPicker>> FfPicker::Create(SimKernel& kernel, Process& process, int fd,
+                                                   const FitsHeader& header,
+                                                   int64_t preferred_elements) {
+  if (preferred_elements <= 0 || header.element_size() <= 0) {
+    return Err::kInval;
+  }
+  PickerOptions options;
+  options.element_size = header.element_size();
+  options.element_base = header.data_offset;
+  options.preferred_chunk_bytes = preferred_elements * header.element_size();
+  SLED_ASSIGN_OR_RETURN(std::unique_ptr<SledsPicker> picker,
+                        SledsPicker::Create(kernel, process, fd, options));
+  return std::unique_ptr<FfPicker>(new FfPicker(std::move(picker), header));
+}
+
+Result<FfPicker::ElementPick> FfPicker::NextRead() {
+  const int64_t elem = header_.element_size();
+  const int64_t data_begin = header_.data_offset;
+  const int64_t data_end = data_begin + header_.data_bytes();
+  while (true) {
+    SLED_ASSIGN_OR_RETURN(SledsPicker::Pick pick, picker_->NextRead());
+    if (pick.length == 0) {
+      return ElementPick{0, 0};
+    }
+    // Clip to the data unit: header bytes and trailing block padding are not
+    // elements.
+    const int64_t lo = std::max(pick.offset, data_begin);
+    const int64_t hi = std::min(pick.offset + pick.length, data_end);
+    if (lo >= hi) {
+      continue;  // pure header/padding pick
+    }
+    // Alignment is guaranteed by the picker's element mode; partial elements
+    // can only appear where the clip cut at data_begin/data_end, which are
+    // themselves on the element grid.
+    ElementPick out;
+    out.first_element = (lo - data_begin) / elem;
+    out.count = (hi - lo) / elem;
+    if (out.count == 0) {
+      continue;
+    }
+    return out;
+  }
+}
+
+namespace {
+
+using FfKey = std::tuple<const SimKernel*, int, int>;
+
+std::map<FfKey, std::unique_ptr<FfPicker>>& FfRegistry() {
+  static std::map<FfKey, std::unique_ptr<FfPicker>> registry;
+  return registry;
+}
+
+}  // namespace
+
+long ffsleds_pick_init(SledsContext ctx, int fd, long preferred_elements) {
+  if (ctx.kernel == nullptr || ctx.process == nullptr) {
+    return -1;
+  }
+  auto header = FitsReadHeader(*ctx.kernel, *ctx.process, fd);
+  if (!header.ok()) {
+    return -1;
+  }
+  auto picker = FfPicker::Create(*ctx.kernel, *ctx.process, fd, header.value(),
+                                 preferred_elements);
+  if (!picker.ok()) {
+    return -1;
+  }
+  FfRegistry()[{ctx.kernel, ctx.process->pid(), fd}] = std::move(picker).value();
+  return preferred_elements;
+}
+
+int ffsleds_pick_next_read(SledsContext ctx, int fd, long* first_element, long* element_count) {
+  if (ctx.kernel == nullptr || ctx.process == nullptr || first_element == nullptr ||
+      element_count == nullptr) {
+    return -1;
+  }
+  auto it = FfRegistry().find({ctx.kernel, ctx.process->pid(), fd});
+  if (it == FfRegistry().end()) {
+    return -1;
+  }
+  auto pick = it->second->NextRead();
+  if (!pick.ok()) {
+    return -1;
+  }
+  *first_element = pick->first_element;
+  *element_count = pick->count;
+  return 0;
+}
+
+int ffsleds_pick_finish(SledsContext ctx, int fd) {
+  if (ctx.kernel == nullptr || ctx.process == nullptr) {
+    return -1;
+  }
+  return FfRegistry().erase({ctx.kernel, ctx.process->pid(), fd}) > 0 ? 0 : -1;
+}
+
+}  // namespace sled

@@ -1,0 +1,290 @@
+#include "src/fits/fits.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "src/common/log.h"
+
+namespace sled {
+namespace {
+
+std::string Card(const std::string& keyword, const std::string& value,
+                 const std::string& comment = "") {
+  char buf[kFitsCardLen + 1];
+  // "KEYWORD =                value / comment", padded to 80 columns.
+  std::snprintf(buf, sizeof(buf), "%-8.8s= %20s%s%-.47s", keyword.c_str(), value.c_str(),
+                comment.empty() ? "" : " / ", comment.c_str());
+  std::string card(buf);
+  card.resize(kFitsCardLen, ' ');
+  return card;
+}
+
+std::string EndCard() {
+  std::string card = "END";
+  card.resize(kFitsCardLen, ' ');
+  return card;
+}
+
+// Store an unsigned big-endian integer of `n` bytes.
+void PutBe(uint64_t v, int n, char* out) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = static_cast<char>((v >> (8 * (n - 1 - i))) & 0xFF);
+  }
+}
+
+uint64_t GetBe(const char* in, int n) {
+  uint64_t v = 0;
+  for (int i = 0; i < n; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(in[i]);
+  }
+  return v;
+}
+
+int64_t SaturateRound(double v, int64_t lo, int64_t hi) {
+  if (std::isnan(v)) {
+    return 0;
+  }
+  const double r = std::nearbyint(v);
+  if (r <= static_cast<double>(lo)) {
+    return lo;
+  }
+  if (r >= static_cast<double>(hi)) {
+    return hi;
+  }
+  return static_cast<int64_t>(r);
+}
+
+}  // namespace
+
+std::string FitsEncodeHeader(const FitsHeader& header) {
+  std::string out;
+  out += Card("SIMPLE", "T", "conforms to FITS standard");
+  out += Card("BITPIX", std::to_string(header.bitpix), "bits per data element");
+  out += Card("NAXIS", std::to_string(header.naxis.size()), "number of axes");
+  for (size_t i = 0; i < header.naxis.size(); ++i) {
+    out += Card("NAXIS" + std::to_string(i + 1), std::to_string(header.naxis[i]));
+  }
+  out += EndCard();
+  const size_t padded = ((out.size() + kFitsBlock - 1) / kFitsBlock) * kFitsBlock;
+  out.resize(padded, ' ');
+  return out;
+}
+
+Result<FitsHeader> FitsParseHeader(std::string_view bytes) {
+  FitsHeader header;
+  header.bitpix = 0;
+  int64_t naxis_count = -1;
+  size_t pos = 0;
+  bool saw_end = false;
+  bool saw_simple = false;
+  while (pos + kFitsCardLen <= bytes.size()) {
+    const std::string_view card = bytes.substr(pos, kFitsCardLen);
+    pos += kFitsCardLen;
+    const std::string_view keyword = card.substr(0, 8);
+    if (keyword.starts_with("END")) {
+      saw_end = true;
+      break;
+    }
+    // Value cards: "KEYWORD = value [/ comment]".
+    std::string_view value;
+    if (card.size() > 10 && card[8] == '=') {
+      value = card.substr(10);
+      const size_t slash = value.find('/');
+      if (slash != std::string_view::npos) {
+        value = value.substr(0, slash);
+      }
+      while (!value.empty() && value.front() == ' ') {
+        value.remove_prefix(1);
+      }
+      while (!value.empty() && value.back() == ' ') {
+        value.remove_suffix(1);
+      }
+    }
+    if (keyword.starts_with("SIMPLE")) {
+      if (value != "T") {
+        return Err::kInval;
+      }
+      saw_simple = true;
+    } else if (keyword.starts_with("BITPIX")) {
+      header.bitpix = static_cast<int>(std::strtol(std::string(value).c_str(), nullptr, 10));
+    } else if (keyword.starts_with("NAXIS")) {
+      const std::string_view axis = keyword.substr(5);
+      const int64_t v = std::strtoll(std::string(value).c_str(), nullptr, 10);
+      if (axis.empty() || axis[0] == ' ') {
+        naxis_count = v;
+        if (naxis_count < 0 || naxis_count > 8) {
+          return Err::kInval;
+        }
+        header.naxis.assign(static_cast<size_t>(naxis_count), 0);
+      } else {
+        const int idx = static_cast<int>(std::strtol(std::string(axis).c_str(), nullptr, 10));
+        if (idx < 1 || idx > static_cast<int>(header.naxis.size()) || v < 0) {
+          return Err::kInval;
+        }
+        header.naxis[static_cast<size_t>(idx - 1)] = v;
+      }
+    }
+    // Unknown keywords are permitted and ignored.
+  }
+  if (!saw_end || !saw_simple || naxis_count < 0) {
+    return Err::kInval;
+  }
+  switch (header.bitpix) {
+    case 8:
+    case 16:
+    case 32:
+    case -32:
+    case -64:
+      break;
+    default:
+      return Err::kInval;
+  }
+  header.data_offset = static_cast<int64_t>(((pos + kFitsBlock - 1) / kFitsBlock) * kFitsBlock);
+  return header;
+}
+
+void FitsEncodePixel(double value, int bitpix, char* out) {
+  switch (bitpix) {
+    case 8:
+      PutBe(static_cast<uint64_t>(SaturateRound(value, 0, 255)), 1, out);
+      return;
+    case 16:
+      PutBe(static_cast<uint64_t>(static_cast<uint16_t>(
+                SaturateRound(value, std::numeric_limits<int16_t>::min(),
+                              std::numeric_limits<int16_t>::max()))),
+            2, out);
+      return;
+    case 32:
+      PutBe(static_cast<uint64_t>(static_cast<uint32_t>(
+                SaturateRound(value, std::numeric_limits<int32_t>::min(),
+                              std::numeric_limits<int32_t>::max()))),
+            4, out);
+      return;
+    case -32:
+      PutBe(std::bit_cast<uint32_t>(static_cast<float>(value)), 4, out);
+      return;
+    case -64:
+      PutBe(std::bit_cast<uint64_t>(value), 8, out);
+      return;
+    default:
+      SLED_CHECK(false, "unsupported BITPIX %d", bitpix);
+  }
+}
+
+double FitsDecodePixel(const char* in, int bitpix) {
+  switch (bitpix) {
+    case 8:
+      return static_cast<double>(GetBe(in, 1));
+    case 16:
+      return static_cast<double>(static_cast<int16_t>(GetBe(in, 2)));
+    case 32:
+      return static_cast<double>(static_cast<int32_t>(GetBe(in, 4)));
+    case -32:
+      return static_cast<double>(std::bit_cast<float>(static_cast<uint32_t>(GetBe(in, 4))));
+    case -64:
+      return std::bit_cast<double>(GetBe(in, 8));
+    default:
+      SLED_CHECK(false, "unsupported BITPIX %d", bitpix);
+  }
+}
+
+Result<void> FitsWriteImage(SimKernel& kernel, Process& process, std::string_view path,
+                            const FitsImage& image) {
+  if (image.pixels.size() != static_cast<size_t>(image.header.element_count())) {
+    return Err::kInval;
+  }
+  SLED_ASSIGN_OR_RETURN(int fd, kernel.Create(process, path));
+  const std::string header = FitsEncodeHeader(image.header);
+  SLED_RETURN_IF_ERROR(
+      kernel.Write(process, fd, std::span<const char>(header.data(), header.size())));
+
+  const int64_t elem = image.header.element_size();
+  std::string buf;
+  buf.reserve(static_cast<size_t>(64 * kKiB));
+  auto flush = [&]() -> Result<void> {
+    if (!buf.empty()) {
+      SLED_RETURN_IF_ERROR(kernel.Write(process, fd, std::span<const char>(buf.data(), buf.size())));
+      buf.clear();
+    }
+    return Result<void>::Ok();
+  };
+  char scratch[8];
+  for (double v : image.pixels) {
+    FitsEncodePixel(v, image.header.bitpix, scratch);
+    buf.append(scratch, static_cast<size_t>(elem));
+    if (buf.size() >= static_cast<size_t>(64 * kKiB)) {
+      SLED_RETURN_IF_ERROR(flush());
+    }
+  }
+  SLED_RETURN_IF_ERROR(flush());
+  // Pad the data unit to the blocking factor.
+  const int64_t pad = image.header.padded_data_bytes() - image.header.data_bytes();
+  if (pad > 0) {
+    const std::string zeros(static_cast<size_t>(pad), '\0');
+    SLED_RETURN_IF_ERROR(
+        kernel.Write(process, fd, std::span<const char>(zeros.data(), zeros.size())));
+  }
+  return kernel.Close(process, fd);
+}
+
+Result<FitsHeader> FitsReadHeader(SimKernel& kernel, Process& process, int fd) {
+  SLED_RETURN_IF_ERROR(kernel.Lseek(process, fd, 0, Whence::kSet));
+  std::string bytes;
+  while (true) {
+    std::string block(static_cast<size_t>(kFitsBlock), '\0');
+    SLED_ASSIGN_OR_RETURN(int64_t n,
+                          kernel.Read(process, fd, std::span<char>(block.data(), block.size())));
+    if (n < kFitsBlock) {
+      return Err::kInval;  // truncated header
+    }
+    bytes += block;
+    auto parsed = FitsParseHeader(bytes);
+    if (parsed.ok()) {
+      return parsed;
+    }
+    if (bytes.size() > static_cast<size_t>(64 * kFitsBlock)) {
+      return Err::kInval;  // runaway header
+    }
+  }
+}
+
+Result<FitsImage> FitsReadImage(SimKernel& kernel, Process& process, std::string_view path) {
+  SLED_ASSIGN_OR_RETURN(int fd, kernel.Open(process, path));
+  SLED_ASSIGN_OR_RETURN(FitsHeader header, FitsReadHeader(kernel, process, fd));
+  FitsImage image;
+  image.header = header;
+  image.pixels.reserve(static_cast<size_t>(header.element_count()));
+  SLED_RETURN_IF_ERROR(kernel.Lseek(process, fd, header.data_offset, Whence::kSet));
+  const int64_t elem = header.element_size();
+  std::vector<char> buf(static_cast<size_t>(64 * kKiB));
+  int64_t remaining = header.data_bytes();
+  std::string carry;
+  while (remaining > 0) {
+    const int64_t want = std::min<int64_t>(static_cast<int64_t>(buf.size()), remaining);
+    SLED_ASSIGN_OR_RETURN(
+        int64_t n, kernel.Read(process, fd, std::span<char>(buf.data(), static_cast<size_t>(want))));
+    if (n <= 0) {
+      (void)kernel.Close(process, fd);
+      return Err::kInval;
+    }
+    carry.append(buf.data(), static_cast<size_t>(n));
+    size_t consumed = 0;
+    while (carry.size() - consumed >= static_cast<size_t>(elem)) {
+      image.pixels.push_back(FitsDecodePixel(carry.data() + consumed, header.bitpix));
+      consumed += static_cast<size_t>(elem);
+    }
+    carry.erase(0, consumed);
+    remaining -= n;
+  }
+  SLED_RETURN_IF_ERROR(kernel.Close(process, fd));
+  if (image.pixels.size() != static_cast<size_t>(header.element_count())) {
+    return Err::kInval;
+  }
+  return image;
+}
+
+}  // namespace sled

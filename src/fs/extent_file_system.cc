@@ -1,0 +1,72 @@
+#include "src/fs/extent_file_system.h"
+
+namespace sled {
+
+ExtentFileSystem::ExtentFileSystem(std::string name, std::unique_ptr<StorageDevice> device,
+                                   ExtentAllocatorConfig alloc_config, bool per_zone_levels)
+    : FileSystem(std::move(name)),
+      device_(std::move(device)),
+      allocator_(device_.get(), alloc_config) {
+  if (per_zone_levels) {
+    zoned_ = dynamic_cast<const DiskDevice*>(device_.get());
+    if (zoned_ != nullptr) {
+      num_zones_ = zoned_->num_zones();
+      if (num_zones_ < 2) {
+        zoned_ = nullptr;  // single zone: nothing to distinguish
+        num_zones_ = 1;
+      }
+    }
+  }
+}
+
+Result<Duration> ExtentFileSystem::ReadPagesFromStore(InodeNum ino, int64_t first_page,
+                                                      int64_t count) {
+  return allocator_.TransferPages(ino, first_page, count, /*writing=*/false);
+}
+
+Result<Duration> ExtentFileSystem::WritePagesToStore(InodeNum ino, int64_t first_page,
+                                                     int64_t count) {
+  return allocator_.TransferPages(ino, first_page, count, /*writing=*/true);
+}
+
+int ExtentFileSystem::LevelOf(InodeNum ino, int64_t page) const {
+  if (zoned_ == nullptr) {
+    return 0;
+  }
+  auto addr = allocator_.DeviceAddressOf(ino, page * kPageSize);
+  if (!addr.ok()) {
+    return 0;  // unallocated (sparse); report the outermost zone
+  }
+  const int zone =
+      static_cast<int>((addr.value() * num_zones_) / device_->capacity_bytes());
+  return std::min(zone, num_zones_ - 1);
+}
+
+std::vector<StorageLevelInfo> ExtentFileSystem::Levels() const {
+  if (zoned_ == nullptr) {
+    return {{std::string(device_->name()), device_->Nominal()}};
+  }
+  // One row per recording zone: same positioning latency, the zone's own
+  // media rate (measured at the zone's midpoint).
+  std::vector<StorageLevelInfo> levels;
+  const DeviceCharacteristics nominal = device_->Nominal();
+  const int64_t zone_span = device_->capacity_bytes() / num_zones_;
+  for (int z = 0; z < num_zones_; ++z) {
+    StorageLevelInfo level;
+    level.name = std::string(device_->name()) + "-z" + std::to_string(z);
+    level.nominal.latency = nominal.latency;
+    level.nominal.bandwidth_bps = zoned_->BandwidthAt(z * zone_span + zone_span / 2);
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+Result<void> ExtentFileSystem::OnResize(InodeNum ino, int64_t /*old_size*/, int64_t new_size) {
+  if (new_size == 0) {
+    allocator_.Free(ino);  // unlink or truncate-to-zero; Resize recreates on regrowth
+    return Result<void>::Ok();
+  }
+  return allocator_.Resize(ino, new_size);
+}
+
+}  // namespace sled

@@ -1,0 +1,137 @@
+// FileSystem base: the common namespace + content plane every concrete file
+// system (ExtFs, IsoFs, NfsFs, HsmFs) shares, and the data-plane interface
+// the kernel uses to charge device time and to construct SLEDs.
+//
+// Split of responsibilities:
+//   * namespace + file contents: kept in memory here. Metadata I/O cost is
+//     out of scope for the paper's experiments (they measure data-plane
+//     reads); file *contents* are real bytes so applications (wc, grep, FITS
+//     tools) compute real answers.
+//   * data-plane cost: virtual. ReadPagesFromStore/WritePagesToStore charge
+//     simulated device time for moving pages between the backing store and
+//     the buffer cache; LevelOf reports which storage level currently holds a
+//     page, which is exactly what the kernel SLED scan needs (paper §4.1).
+#ifndef SLEDS_SRC_FS_FILESYSTEM_H_
+#define SLEDS_SRC_FS_FILESYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/sim_time.h"
+#include "src/common/units.h"
+#include "src/device/device.h"
+
+namespace sled {
+
+using InodeNum = int64_t;
+
+inline constexpr InodeNum kRootIno = 1;
+
+struct InodeAttr {
+  InodeNum ino = 0;
+  bool is_dir = false;
+  int64_t size = 0;
+};
+
+struct DirEntry {
+  std::string name;
+  InodeNum ino = 0;
+  bool is_dir = false;
+};
+
+// One storage level of a file system, registered into the kernel sleds_table
+// at mount time. `nominal` is the model's own average-case characterization;
+// the boot-time calibrator may overwrite the table row with measured values
+// (paper §4.1: lmbench fills the table via FSLEDS_FILL).
+struct StorageLevelInfo {
+  std::string name;
+  DeviceCharacteristics nominal;
+};
+
+class FileSystem {
+ public:
+  explicit FileSystem(std::string name);
+  virtual ~FileSystem() = default;
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // ---- namespace ----
+  InodeNum root() const { return kRootIno; }
+  Result<InodeNum> Lookup(InodeNum dir, std::string_view child) const;
+  Result<InodeNum> CreateFile(InodeNum dir, std::string_view child);
+  Result<InodeNum> CreateDir(InodeNum dir, std::string_view child);
+  Result<void> Unlink(InodeNum dir, std::string_view child);
+  Result<std::vector<DirEntry>> List(InodeNum dir) const;
+  Result<InodeAttr> GetAttr(InodeNum ino) const;
+  bool Exists(InodeNum ino) const { return inodes_.contains(ino); }
+
+  // ---- content plane (real bytes, no cost model) ----
+  // Copy out up to dst.size() bytes at `offset`; returns bytes copied (0 at
+  // or past EOF).
+  Result<int64_t> ReadBytes(InodeNum ino, int64_t offset, std::span<char> dst) const;
+  // Copy in, extending the file as needed.
+  Result<int64_t> WriteBytes(InodeNum ino, int64_t offset, std::span<const char> src);
+  Result<void> Truncate(InodeNum ino, int64_t new_size);
+  int64_t SizeOf(InodeNum ino) const;
+
+  // Zero-copy view of the whole file's contents (mmap support). The view is
+  // invalidated by any operation that changes the file's size.
+  Result<std::string_view> ContentView(InodeNum ino) const;
+
+  // ---- data-plane cost model ----
+  virtual bool read_only() const { return false; }
+  // Device time to fetch pages [first_page, first_page + count) of `ino` from
+  // the backing store into memory.
+  virtual Result<Duration> ReadPagesFromStore(InodeNum ino, int64_t first_page,
+                                              int64_t count) = 0;
+  // Device time to write those pages back.
+  virtual Result<Duration> WritePagesToStore(InodeNum ino, int64_t first_page,
+                                             int64_t count) = 0;
+  // Index (into Levels()) of the storage level currently holding this page.
+  virtual int LevelOf(InodeNum ino, int64_t page) const = 0;
+  virtual std::vector<StorageLevelInfo> Levels() const = 0;
+
+ protected:
+  // Allocation hook invoked after any size change (append, truncate). Gives
+  // concrete file systems a chance to (de)allocate backing extents.
+  virtual Result<void> OnResize(InodeNum ino, int64_t old_size, int64_t new_size) = 0;
+
+  // Subclass override to veto mutation (read-only media): checked before any
+  // namespace or content mutation.
+  virtual Result<void> CheckWritable() const;
+
+  // Per-inode mutation veto, checked before WriteBytes/Truncate even when no
+  // resize happens (HSM: writing an offline file requires an explicit
+  // recall first).
+  virtual Result<void> CheckInodeWritable(InodeNum /*ino*/) const {
+    return Result<void>::Ok();
+  }
+
+ private:
+  struct Inode {
+    bool is_dir = false;
+    std::string data;                        // file contents
+    std::map<std::string, InodeNum> children;  // directory entries (sorted)
+  };
+
+  Result<const Inode*> FindInode(InodeNum ino) const;
+  Result<Inode*> FindInode(InodeNum ino);
+  Result<InodeNum> CreateNode(InodeNum dir, std::string_view child, bool is_dir);
+
+  std::string name_;
+  std::unordered_map<InodeNum, Inode> inodes_;
+  InodeNum next_ino_ = kRootIno + 1;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_FS_FILESYSTEM_H_

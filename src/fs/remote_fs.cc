@@ -1,0 +1,122 @@
+#include "src/fs/remote_fs.h"
+
+#include <algorithm>
+
+namespace sled {
+
+RemoteServer::RemoteServer(const RemoteFsConfig& config)
+    : disk_(std::make_unique<DiskDevice>(
+          [&] {
+            DiskDeviceConfig dc = config.server_disk;
+            dc.seed = config.seed * 31 + 7;
+            return dc;
+          }(),
+          "server-disk")),
+      allocator_(disk_.get(), ExtentAllocatorConfig{}),
+      cache_({.capacity_pages = config.server_cache_pages}) {}
+
+Duration RemoteServer::WritebackEvicted(const EvictedPage& evicted) {
+  if (!evicted.dirty) {
+    return Duration();
+  }
+  // The evicted key's file field is the inode number (server-local ids).
+  auto t = allocator_.TransferPages(static_cast<InodeNum>(evicted.key.file), evicted.key.page, 1,
+                                    /*writing=*/true);
+  return t.ok() ? t.value() : Duration();
+}
+
+Result<Duration> RemoteServer::ReadPages(InodeNum ino, int64_t first_page, int64_t count) {
+  Duration total;
+  int64_t run_start = -1;
+  int64_t run_len = 0;
+  auto flush_run = [&]() -> Result<void> {
+    if (run_len > 0) {
+      SLED_ASSIGN_OR_RETURN(Duration t,
+                            allocator_.TransferPages(ino, run_start, run_len, /*writing=*/false));
+      total += t;
+      run_len = 0;
+    }
+    return Result<void>::Ok();
+  };
+  for (int64_t page = first_page; page < first_page + count; ++page) {
+    const PageKey key{static_cast<FileId>(ino), page};
+    if (cache_.Touch(key)) {
+      SLED_RETURN_IF_ERROR(flush_run());
+      continue;
+    }
+    if (run_len == 0) {
+      run_start = page;
+    }
+    ++run_len;
+    auto evicted = cache_.Insert(key, /*dirty=*/false);
+    if (evicted.has_value()) {
+      total += WritebackEvicted(*evicted);
+    }
+  }
+  SLED_RETURN_IF_ERROR(flush_run());
+  return total;
+}
+
+Result<Duration> RemoteServer::WritePages(InodeNum ino, int64_t first_page, int64_t count) {
+  Duration total;
+  for (int64_t page = first_page; page < first_page + count; ++page) {
+    auto evicted = cache_.Insert({static_cast<FileId>(ino), page}, /*dirty=*/true);
+    if (evicted.has_value()) {
+      total += WritebackEvicted(*evicted);
+    }
+  }
+  return total;
+}
+
+bool RemoteServer::IsCached(InodeNum ino, int64_t page) const {
+  return cache_.Contains({static_cast<FileId>(ino), page});
+}
+
+Result<void> RemoteServer::Resize(InodeNum ino, int64_t new_size) {
+  if (new_size == 0) {
+    Free(ino);
+    return Result<void>::Ok();
+  }
+  return allocator_.Resize(ino, new_size);
+}
+
+void RemoteServer::Free(InodeNum ino) {
+  // Drop cached pages (dirty ones are discarded with the file).
+  const_cast<PageCache&>(cache_).RemoveFile(static_cast<FileId>(ino));
+  allocator_.Free(ino);
+}
+
+RemoteFs::RemoteFs(std::string name, RemoteFsConfig config)
+    : FileSystem(std::move(name)), config_(config), server_(config) {}
+
+Result<Duration> RemoteFs::ReadPagesFromStore(InodeNum ino, int64_t first_page, int64_t count) {
+  SLED_ASSIGN_OR_RETURN(Duration server_time, server_.ReadPages(ino, first_page, count));
+  return server_time + WireTime(count * kPageSize);
+}
+
+Result<Duration> RemoteFs::WritePagesToStore(InodeNum ino, int64_t first_page, int64_t count) {
+  SLED_ASSIGN_OR_RETURN(Duration server_time, server_.WritePages(ino, first_page, count));
+  return server_time + WireTime(count * kPageSize);
+}
+
+int RemoteFs::LevelOf(InodeNum ino, int64_t page) const {
+  return server_.IsCached(ino, page) ? kLevelServerCache : kLevelServerDisk;
+}
+
+std::vector<StorageLevelInfo> RemoteFs::Levels() const {
+  const DeviceCharacteristics disk = server_.DiskNominal();
+  // Server cache: one RPC, wire-limited.
+  StorageLevelInfo cache_level{"nfs-cache", {config_.rpc_latency, config_.wire_bandwidth_bps}};
+  // Server disk: RPC + disk positioning; streaming limited by the slower leg.
+  StorageLevelInfo disk_level{
+      "nfs-disk",
+      {config_.rpc_latency + disk.latency,
+       std::min(config_.wire_bandwidth_bps, disk.bandwidth_bps)}};
+  return {cache_level, disk_level};
+}
+
+Result<void> RemoteFs::OnResize(InodeNum ino, int64_t /*old_size*/, int64_t new_size) {
+  return server_.Resize(ino, new_size);
+}
+
+}  // namespace sled

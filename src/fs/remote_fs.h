@@ -1,0 +1,105 @@
+// RemoteFs: a distributed file system where SLEDs cross the wire.
+//
+// The paper proposes SLEDs as "the vocabulary of communication between
+// clients and servers as well as between applications and operating systems"
+// (§2) and lists server/client SLED communication as primary future work
+// (§6). This module builds that: a file server with its own disk and its own
+// server-side page cache, and a client file system whose page-level estimates
+// distinguish *three* storage levels:
+//
+//   client memory     (the local page cache — level 0, as always)
+//   server cache      (one wire round-trip, wire bandwidth)
+//   server disk       (wire round-trip + server disk positioning + the
+//                      slower of wire/disk bandwidth)
+//
+// A SLEDs-aware application can therefore order its reads client-cache
+// first, then server-cache, then server-disk — reducing not only its own
+// latency but the server's disk load, which is exactly the "better citizen"
+// argument of §3.2.
+#ifndef SLEDS_SRC_FS_REMOTE_FS_H_
+#define SLEDS_SRC_FS_REMOTE_FS_H_
+
+#include <memory>
+
+#include "src/cache/page_cache.h"
+#include "src/device/disk_device.h"
+#include "src/fs/extent_allocator.h"
+#include "src/fs/filesystem.h"
+
+namespace sled {
+
+struct RemoteFsConfig {
+  // Wire characteristics (per-RPC latency and streaming bandwidth). Defaults
+  // are 100 Mb-class ethernet, much faster than the paper's Table 2 NFS so
+  // the server-cache tier is visibly cheaper than the server disk.
+  Duration rpc_latency = MillisecondsF(1.2);
+  double wire_bandwidth_bps = 10.0e6;
+  // Server-side buffer cache, in pages.
+  int64_t server_cache_pages = 4096;  // 16 MiB
+  DiskDeviceConfig server_disk;
+  uint64_t seed = 17;
+};
+
+// The server: disk + server page cache + the per-page residency answer the
+// client's SLED scan asks for. Single-client, request-response; server work
+// is charged into the returned service times.
+class RemoteServer {
+ public:
+  explicit RemoteServer(const RemoteFsConfig& config);
+
+  // Service time for reading/writing pages of (server-side) inode `ino`.
+  // Reads fill the server cache; writes go through it (write-back on
+  // eviction).
+  Result<Duration> ReadPages(InodeNum ino, int64_t first_page, int64_t count);
+  Result<Duration> WritePages(InodeNum ino, int64_t first_page, int64_t count);
+
+  // Is this page in the server's cache right now? (The SLEDs-over-the-wire
+  // query; costs one RPC, amortized by the client asking per file.)
+  bool IsCached(InodeNum ino, int64_t page) const;
+
+  Result<void> Resize(InodeNum ino, int64_t new_size);
+  void Free(InodeNum ino);
+
+  const PageCache& cache() const { return cache_; }
+  const DiskDevice& disk() const { return *disk_; }
+  DeviceCharacteristics DiskNominal() const { return disk_->Nominal(); }
+
+ private:
+  // Flush one evicted dirty page; returns disk time.
+  Duration WritebackEvicted(const EvictedPage& evicted);
+
+  std::unique_ptr<DiskDevice> disk_;
+  ExtentAllocator allocator_;
+  PageCache cache_;
+};
+
+class RemoteFs final : public FileSystem {
+ public:
+  RemoteFs(std::string name, RemoteFsConfig config);
+
+  Result<Duration> ReadPagesFromStore(InodeNum ino, int64_t first_page, int64_t count) override;
+  Result<Duration> WritePagesToStore(InodeNum ino, int64_t first_page, int64_t count) override;
+  int LevelOf(InodeNum ino, int64_t page) const override;
+  std::vector<StorageLevelInfo> Levels() const override;
+
+  RemoteServer& server() { return server_; }
+  const RemoteServer& server() const { return server_; }
+
+  static constexpr int kLevelServerCache = 0;
+  static constexpr int kLevelServerDisk = 1;
+
+ protected:
+  Result<void> OnResize(InodeNum ino, int64_t old_size, int64_t new_size) override;
+
+ private:
+  Duration WireTime(int64_t nbytes) const {
+    return config_.rpc_latency + TransferTime(nbytes, config_.wire_bandwidth_bps);
+  }
+
+  RemoteFsConfig config_;
+  RemoteServer server_;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_FS_REMOTE_FS_H_

@@ -1,0 +1,518 @@
+#include "src/kernel/sim_kernel.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/log.h"
+#include "src/common/units.h"
+
+namespace sled {
+namespace {
+
+constexpr uint64_t kInoMask = (1ull << 40) - 1;
+
+uint32_t FsIdOfFid(FileId fid) { return static_cast<uint32_t>(fid >> 40); }
+InodeNum InoOfFid(FileId fid) { return static_cast<InodeNum>(fid & kInoMask); }
+
+}  // namespace
+
+SimKernel::SimKernel(KernelConfig config)
+    : config_(config), cache_(config.cache), sleds_table_(config.memory) {
+  SLED_CHECK(config_.min_readahead_pages >= 1, "readahead minimum must be >= 1");
+  SLED_CHECK(config_.max_readahead_pages >= config_.min_readahead_pages,
+             "readahead maximum below minimum");
+}
+
+Result<uint32_t> SimKernel::Mount(std::string path, std::unique_ptr<FileSystem> fs) {
+  FileSystem* raw = fs.get();
+  SLED_ASSIGN_OR_RETURN(uint32_t fs_id, vfs_.Mount(std::move(path), std::move(fs)));
+  const std::vector<StorageLevelInfo> levels = raw->Levels();
+  for (size_t i = 0; i < levels.size(); ++i) {
+    sleds_table_.RegisterLevel(levels[i].name, levels[i].nominal, fs_id, static_cast<int>(i));
+  }
+  return fs_id;
+}
+
+Process& SimKernel::CreateProcess(std::string name) {
+  processes_.push_back(std::make_unique<Process>(next_pid_++, std::move(name)));
+  return *processes_.back();
+}
+
+void SimKernel::ChargeCpu(Process& p, Duration d) {
+  p.stats().cpu_time += d;
+  clock_.Advance(d);
+}
+
+void SimKernel::ChargeIo(Process& p, Duration d) {
+  p.stats().io_time += d;
+  clock_.Advance(d);
+}
+
+void SimKernel::EnterSyscall(Process& p) {
+  ++p.stats().syscalls;
+  ChargeCpu(p, config_.costs.syscall_overhead);
+}
+
+Result<OpenFile*> SimKernel::FdOf(Process& p, int fd) {
+  OpenFile* of = p.FindFd(fd);
+  if (of == nullptr) {
+    return Err::kBadF;
+  }
+  return of;
+}
+
+FileSystem* SimKernel::FsOf(const OpenFile& of) { return vfs_.FsById(of.fs_id); }
+
+Result<int> SimKernel::Open(Process& p, std::string_view path) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(Vfs::Resolved r, vfs_.Resolve(path));
+  SLED_ASSIGN_OR_RETURN(InodeAttr attr, r.fs->GetAttr(r.ino));
+  if (attr.is_dir) {
+    return Err::kIsDir;
+  }
+  OpenFile of;
+  of.fs_id = r.fs_id;
+  of.ino = r.ino;
+  of.fid = Vfs::MakeFileId(r.fs_id, r.ino);
+  return p.InstallFd(of);
+}
+
+Result<int> SimKernel::Create(Process& p, std::string_view path) {
+  EnterSyscall(p);
+  Vfs::Resolved r;
+  auto existing = vfs_.Resolve(path);
+  if (existing.ok()) {
+    r = existing.value();
+    SLED_ASSIGN_OR_RETURN(InodeAttr attr, r.fs->GetAttr(r.ino));
+    if (attr.is_dir) {
+      return Err::kIsDir;
+    }
+    // O_TRUNC: drop contents and any cached pages.
+    const FileId fid = Vfs::MakeFileId(r.fs_id, r.ino);
+    cache_.RemoveFile(fid);
+    std::erase_if(writeback_queue_, [fid](const PageKey& k) { return k.file == fid; });
+    SLED_RETURN_IF_ERROR(r.fs->Truncate(r.ino, 0));
+  } else {
+    SLED_ASSIGN_OR_RETURN(r, vfs_.CreateFile(path));
+  }
+  OpenFile of;
+  of.fs_id = r.fs_id;
+  of.ino = r.ino;
+  of.fid = Vfs::MakeFileId(r.fs_id, r.ino);
+  return p.InstallFd(of);
+}
+
+Result<void> SimKernel::Close(Process& p, int fd) {
+  EnterSyscall(p);
+  OpenFile* of = p.FindFd(fd);
+  if (of == nullptr) {
+    return Err::kBadF;
+  }
+  // Release any SLED locks this descriptor held.
+  for (int64_t page : of->locked_pages) {
+    cache_.Unpin({of->fid, page});
+  }
+  p.RemoveFd(fd);
+  return Result<void>::Ok();
+}
+
+Result<void> SimKernel::PageIn(Process& p, const OpenFile& of, int64_t first_page, int64_t count,
+                               int64_t demand_pages) {
+  FileSystem* fs = FsOf(of);
+  SLED_ASSIGN_OR_RETURN(Duration t, fs->ReadPagesFromStore(of.ino, first_page, count));
+  ChargeIo(p, t);
+  ChargeCpu(p, config_.costs.fault_overhead);
+  p.stats().major_faults += count;
+  stats_.pages_paged_in += count;
+  stats_.readahead_pages += count - demand_pages;
+  for (int64_t q = first_page; q < first_page + count; ++q) {
+    auto evicted = cache_.Insert({of.fid, q}, /*dirty=*/false);
+    if (evicted.has_value() && evicted->dirty) {
+      QueueWriteback(&p, evicted->key);
+    }
+  }
+  return Result<void>::Ok();
+}
+
+Result<int64_t> SimKernel::Read(Process& p, int fd, std::span<char> dst) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  FileSystem* fs = FsOf(*of);
+  const int64_t size = fs->SizeOf(of->ino);
+  if (of->offset >= size || dst.empty()) {
+    return static_cast<int64_t>(0);
+  }
+  const int64_t n = std::min<int64_t>(static_cast<int64_t>(dst.size()), size - of->offset);
+  SLED_ASSIGN_OR_RETURN(int64_t copied,
+                        fs->ReadBytes(of->ino, of->offset, dst.subspan(0, static_cast<size_t>(n))));
+  SLED_CHECK(copied == n, "short content read: %lld != %lld", static_cast<long long>(copied),
+             static_cast<long long>(n));
+
+  const int64_t file_pages = PagesFor(size);
+  const int64_t first = of->offset / kPageSize;
+  const int64_t last = (of->offset + n - 1) / kPageSize;
+  for (int64_t page = first; page <= last; ++page) {
+    const PageKey key{of->fid, page};
+    if (!cache_.Touch(key)) {
+      // Demand miss: grow or reset the readahead window, then page in the
+      // run of non-resident pages starting here.
+      if (page == of->last_demand_page) {
+        of->readahead_window = std::min(std::max(of->readahead_window, 1) * 2,
+                                        config_.max_readahead_pages);
+      } else {
+        of->readahead_window = config_.min_readahead_pages;
+      }
+      int64_t run = 1;
+      while (run < of->readahead_window && page + run < file_pages &&
+             !cache_.Contains({of->fid, page + run})) {
+        ++run;
+      }
+      const int64_t demand = std::min<int64_t>(run, last - page + 1);
+      SLED_RETURN_IF_ERROR(PageIn(p, *of, page, run, demand));
+      of->last_demand_page = page + run;  // next sequential miss lands here
+    } else {
+      ++p.stats().minor_faults;
+    }
+    // Copy the consumed bytes of this page to user space.
+    const int64_t page_lo = std::max(of->offset, page * kPageSize);
+    const int64_t page_hi = std::min(of->offset + n, (page + 1) * kPageSize);
+    ChargeCpu(p, SecondsF(config_.memory.latency.ToSeconds()) +
+                     TransferTime(page_hi - page_lo, config_.memory.bandwidth_bps));
+  }
+  of->offset += n;
+  p.stats().bytes_read += n;
+  return n;
+}
+
+Result<std::string_view> SimKernel::MmapRead(Process& p, int fd, int64_t offset,
+                                             int64_t length) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  FileSystem* fs = FsOf(*of);
+  const int64_t size = fs->SizeOf(of->ino);
+  if (offset < 0 || length < 0) {
+    return Err::kInval;
+  }
+  if (offset >= size || length == 0) {
+    return std::string_view();
+  }
+  const int64_t n = std::min(length, size - offset);
+  const int64_t file_pages = PagesFor(size);
+  const int64_t first = offset / kPageSize;
+  const int64_t last = (offset + n - 1) / kPageSize;
+  for (int64_t page = first; page <= last; ++page) {
+    const PageKey key{of->fid, page};
+    if (!cache_.Touch(key)) {
+      if (page == of->last_demand_page) {
+        of->readahead_window =
+            std::min(std::max(of->readahead_window, 1) * 2, config_.max_readahead_pages);
+      } else {
+        of->readahead_window = config_.min_readahead_pages;
+      }
+      int64_t run = 1;
+      while (run < of->readahead_window && page + run < file_pages &&
+             !cache_.Contains({of->fid, page + run})) {
+        ++run;
+      }
+      const int64_t demand = std::min<int64_t>(run, last - page + 1);
+      SLED_RETURN_IF_ERROR(PageIn(p, *of, page, run, demand));
+      of->last_demand_page = page + run;
+    } else {
+      ++p.stats().minor_faults;
+    }
+    ChargeCpu(p, config_.costs.mmap_touch_per_page);
+  }
+  p.stats().bytes_read += n;
+  SLED_ASSIGN_OR_RETURN(std::string_view content, fs->ContentView(of->ino));
+  return content.substr(static_cast<size_t>(offset), static_cast<size_t>(n));
+}
+
+Result<int64_t> SimKernel::Write(Process& p, int fd, std::span<const char> src) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  FileSystem* fs = FsOf(*of);
+  if (src.empty()) {
+    return static_cast<int64_t>(0);
+  }
+  const int64_t old_size = fs->SizeOf(of->ino);
+  const int64_t n = static_cast<int64_t>(src.size());
+  SLED_ASSIGN_OR_RETURN(int64_t written, fs->WriteBytes(of->ino, of->offset, src));
+  SLED_CHECK(written == n, "short content write");
+
+  const int64_t first = of->offset / kPageSize;
+  const int64_t last = (of->offset + n - 1) / kPageSize;
+  for (int64_t page = first; page <= last; ++page) {
+    const PageKey key{of->fid, page};
+    const int64_t page_lo = page * kPageSize;
+    const int64_t page_hi = (page + 1) * kPageSize;
+    const bool full_cover = of->offset <= page_lo && of->offset + n >= page_hi;
+    const bool beyond_old_eof = page_lo >= old_size;
+    if (!full_cover && !beyond_old_eof && !cache_.Contains(key)) {
+      // Read-modify-write of a non-resident partial page.
+      SLED_RETURN_IF_ERROR(PageIn(p, *of, page, 1, 1));
+    }
+    auto evicted = cache_.Insert(key, /*dirty=*/true);
+    if (evicted.has_value() && evicted->dirty) {
+      QueueWriteback(&p, evicted->key);
+    }
+    const int64_t copy_lo = std::max(of->offset, page_lo);
+    const int64_t copy_hi = std::min(of->offset + n, page_hi);
+    ChargeCpu(p, SecondsF(config_.memory.latency.ToSeconds()) +
+                     TransferTime(copy_hi - copy_lo, config_.memory.bandwidth_bps));
+  }
+  of->offset += n;
+  p.stats().bytes_written += n;
+  return n;
+}
+
+Result<int64_t> SimKernel::Lseek(Process& p, int fd, int64_t offset, Whence whence) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  FileSystem* fs = FsOf(*of);
+  int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCur:
+      base = of->offset;
+      break;
+    case Whence::kEnd:
+      base = fs->SizeOf(of->ino);
+      break;
+  }
+  const int64_t target = base + offset;
+  if (target < 0) {
+    return Err::kInval;
+  }
+  of->offset = target;
+  return target;
+}
+
+Result<InodeAttr> SimKernel::Stat(Process& p, std::string_view path) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(Vfs::Resolved r, vfs_.Resolve(path));
+  return r.fs->GetAttr(r.ino);
+}
+
+Result<InodeAttr> SimKernel::Fstat(Process& p, int fd) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  return FsOf(*of)->GetAttr(of->ino);
+}
+
+Result<std::vector<DirEntry>> SimKernel::ReadDir(Process& p, std::string_view path) {
+  EnterSyscall(p);
+  return vfs_.List(path);
+}
+
+Result<void> SimKernel::Unlink(Process& p, std::string_view path) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(Vfs::Resolved r, vfs_.Resolve(path));
+  const FileId fid = Vfs::MakeFileId(r.fs_id, r.ino);
+  cache_.RemoveFile(fid);
+  std::erase_if(writeback_queue_, [fid](const PageKey& k) { return k.file == fid; });
+  return vfs_.Unlink(path);
+}
+
+Result<void> SimKernel::Ftruncate(Process& p, int fd, int64_t size) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  FileSystem* fs = FsOf(*of);
+  SLED_RETURN_IF_ERROR(fs->Truncate(of->ino, size));
+  const int64_t first_dropped = PagesFor(size);
+  for (int64_t page : cache_.ResidentPagesOf(of->fid)) {
+    if (page >= first_dropped) {
+      cache_.Remove({of->fid, page});
+    }
+  }
+  const FileId fid = of->fid;
+  std::erase_if(writeback_queue_,
+                [fid, first_dropped](const PageKey& k) {
+                  return k.file == fid && k.page >= first_dropped;
+                });
+  return Result<void>::Ok();
+}
+
+Result<void> SimKernel::Fsync(Process& p, int fd) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  FileSystem* fs = FsOf(*of);
+  const std::vector<PageKey> dirty = cache_.DirtyPagesOf(of->fid);
+  int64_t run_start = -1;
+  int64_t run_len = 0;
+  auto flush_run = [&]() -> Result<void> {
+    if (run_len == 0) {
+      return Result<void>::Ok();
+    }
+    SLED_ASSIGN_OR_RETURN(Duration t, fs->WritePagesToStore(of->ino, run_start, run_len));
+    ChargeIo(p, t);
+    stats_.pages_written_back += run_len;
+    run_len = 0;
+    return Result<void>::Ok();
+  };
+  for (const PageKey& key : dirty) {
+    if (run_len > 0 && key.page == run_start + run_len) {
+      ++run_len;
+    } else {
+      SLED_RETURN_IF_ERROR(flush_run());
+      run_start = key.page;
+      run_len = 1;
+    }
+    cache_.MarkClean(key);
+  }
+  SLED_RETURN_IF_ERROR(flush_run());
+  return Result<void>::Ok();
+}
+
+void SimKernel::QueueWriteback(Process* p, PageKey key) {
+  writeback_queue_.push_back(key);
+  if (static_cast<int>(writeback_queue_.size()) >= config_.writeback_batch_pages) {
+    auto t = FlushWriteback();
+    if (t.ok() && p != nullptr) {
+      p->stats().io_time += t.value();
+    }
+  }
+}
+
+Result<Duration> SimKernel::FlushWriteback() {
+  std::sort(writeback_queue_.begin(), writeback_queue_.end(),
+            [](const PageKey& a, const PageKey& b) {
+              return a.file != b.file ? a.file < b.file : a.page < b.page;
+            });
+  Duration total;
+  size_t i = 0;
+  while (i < writeback_queue_.size()) {
+    const FileId fid = writeback_queue_[i].file;
+    const int64_t first = writeback_queue_[i].page;
+    size_t j = i + 1;
+    while (j < writeback_queue_.size() && writeback_queue_[j].file == fid &&
+           writeback_queue_[j].page == writeback_queue_[j - 1].page + 1) {
+      ++j;
+    }
+    FileSystem* fs = vfs_.FsById(FsIdOfFid(fid));
+    if (fs != nullptr) {
+      auto t = fs->WritePagesToStore(InoOfFid(fid), first, static_cast<int64_t>(j - i));
+      if (t.ok()) {
+        total += t.value();
+        stats_.pages_written_back += static_cast<int64_t>(j - i);
+      }
+      // Errors (unlinked file, offline HSM file) drop the pages: the data
+      // was already discarded at the content layer.
+    }
+    i = j;
+  }
+  writeback_queue_.clear();
+  clock_.Advance(total);
+  return total;
+}
+
+Result<void> SimKernel::IoctlSledsFill(Process& p, int level, DeviceCharacteristics chars) {
+  EnterSyscall(p);
+  return sleds_table_.Fill(level, chars);
+}
+
+Result<SledVector> SimKernel::IoctlSledsGet(Process& p, int fd) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  FileSystem* fs = FsOf(*of);
+  const int64_t size = fs->SizeOf(of->ino);
+  const int64_t npages = PagesFor(size);
+  ChargeCpu(p, config_.costs.sled_scan_per_page * npages);
+
+  SledVector sleds;
+  for (int64_t page = 0; page < npages; ++page) {
+    int level = kMemoryLevel;
+    if (!cache_.Contains({of->fid, page})) {
+      SLED_ASSIGN_OR_RETURN(level,
+                            sleds_table_.GlobalLevelOf(of->fs_id, fs->LevelOf(of->ino, page)));
+    }
+    const int64_t page_bytes = std::min(kPageSize, size - page * kPageSize);
+    if (!sleds.empty() && sleds.back().level == level) {
+      sleds.back().length += page_bytes;
+      continue;
+    }
+    const SledsTable::Row& row = sleds_table_.row(level);
+    Sled s;
+    s.offset = page * kPageSize;
+    s.length = page_bytes;
+    s.latency = row.chars.latency.ToSeconds();
+    s.bandwidth = row.chars.bandwidth_bps;
+    s.level = level;
+    sleds.push_back(s);
+  }
+  return sleds;
+}
+
+Result<int64_t> SimKernel::IoctlSledsLock(Process& p, int fd, int64_t offset, int64_t length) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  if (offset < 0 || length <= 0) {
+    return Err::kInval;
+  }
+  FileSystem* fs = FsOf(*of);
+  const int64_t size = fs->SizeOf(of->ino);
+  const int64_t first = offset / kPageSize;
+  const int64_t last = std::min(PagesFor(size) - 1, (offset + length - 1) / kPageSize);
+  int64_t pinned = 0;
+  for (int64_t page = first; page <= last; ++page) {
+    const PageKey key{of->fid, page};
+    if (cache_.IsPinned(key)) {
+      continue;  // already locked (possibly by another descriptor)
+    }
+    if (cache_.Pin(key)) {
+      of->locked_pages.push_back(page);
+      ++pinned;
+    }
+    // Non-resident pages are skipped: a SLED lock freezes the *current*
+    // state; it does not promote data into the cache.
+  }
+  ChargeCpu(p, config_.costs.sled_scan_per_page * (last - first + 1));
+  return pinned;
+}
+
+Result<int64_t> SimKernel::IoctlSledsUnlock(Process& p, int fd, int64_t offset, int64_t length) {
+  EnterSyscall(p);
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  const int64_t first = length < 0 ? 0 : offset / kPageSize;
+  const int64_t last =
+      length < 0 ? std::numeric_limits<int64_t>::max() : (offset + length - 1) / kPageSize;
+  int64_t released = 0;
+  std::erase_if(of->locked_pages, [&](int64_t page) {
+    if (page < first || page > last) {
+      return false;
+    }
+    cache_.Unpin({of->fid, page});
+    ++released;
+    return true;
+  });
+  return released;
+}
+
+void SimKernel::DropCaches() {
+  (void)FlushAllDirty();
+  cache_.Clear();
+}
+
+Duration SimKernel::FlushAllDirty() {
+  Duration total;
+  for (const PageKey& key : cache_.AllDirtyPages()) {
+    FileSystem* fs = vfs_.FsById(FsIdOfFid(key.file));
+    if (fs != nullptr) {
+      auto t = fs->WritePagesToStore(InoOfFid(key.file), key.page, 1);
+      if (t.ok()) {
+        total += t.value();
+        stats_.pages_written_back += 1;
+      }
+    }
+    cache_.MarkClean(key);
+  }
+  clock_.Advance(total);
+  auto queued = FlushWriteback();  // advances the clock itself
+  if (queued.ok()) {
+    total += queued.value();
+  }
+  return total;
+}
+
+}  // namespace sled

@@ -1,0 +1,157 @@
+// SimKernel: the simulated operating system. Owns the clock, the VFS, the
+// unified page cache, the writeback queue, the sleds_table, and the syscall
+// surface applications run against. This stands in for the paper's modified
+// Linux 2.2 kernel; the SLEDs changes live in exactly the places the paper
+// put them — the VFS-level page scan and two generic-file ioctls.
+#ifndef SLEDS_SRC_KERNEL_SIM_KERNEL_H_
+#define SLEDS_SRC_KERNEL_SIM_KERNEL_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/cache/page_cache.h"
+#include "src/common/result.h"
+#include "src/common/sim_time.h"
+#include "src/fs/vfs.h"
+#include "src/kernel/process.h"
+#include "src/kernel/sleds_table.h"
+#include "src/sleds/sled.h"
+
+namespace sled {
+
+// CPU charges for kernel entry and bookkeeping. These keep the "modest CPU
+// increases are an acceptable price" trade-off (§5.2) visible: SLED scans and
+// extra syscalls cost real (simulated) time.
+struct CpuCosts {
+  Duration syscall_overhead = Microseconds(4);
+  Duration fault_overhead = Microseconds(15);   // per major-fault event
+  Duration sled_scan_per_page = Nanoseconds(150);
+  Duration mmap_touch_per_page = Nanoseconds(600);  // minor fault / TLB work
+};
+
+struct KernelConfig {
+  PageCacheConfig cache;
+  // Primary-memory characteristics: the cost of delivering cached pages to
+  // user space, and row 0 of the sleds_table (paper Table 2: 175 ns, 48 MB/s).
+  DeviceCharacteristics memory{Nanoseconds(175), 48.0e6};
+  // Sequential readahead window, in pages (Linux 2.2 used small windows that
+  // grow on sequential access, up to 32 pages / 128 KiB).
+  int min_readahead_pages = 4;
+  int max_readahead_pages = 32;
+  // Dirty pages evicted from the cache queue here and flush in batches,
+  // approximating bdflush.
+  int writeback_batch_pages = 256;
+  CpuCosts costs;
+};
+
+enum class Whence { kSet, kCur, kEnd };
+
+struct KernelStats {
+  int64_t pages_paged_in = 0;
+  int64_t pages_written_back = 0;
+  int64_t readahead_pages = 0;  // pages fetched beyond the demand page
+};
+
+class SimKernel {
+ public:
+  explicit SimKernel(KernelConfig config);
+
+  SimKernel(const SimKernel&) = delete;
+  SimKernel& operator=(const SimKernel&) = delete;
+
+  // Mount a file system and register its storage levels in the sleds_table.
+  Result<uint32_t> Mount(std::string path, std::unique_ptr<FileSystem> fs);
+
+  Process& CreateProcess(std::string name);
+
+  // ---- syscalls ----
+  Result<int> Open(Process& p, std::string_view path);
+  // Open with O_CREAT|O_TRUNC semantics.
+  Result<int> Create(Process& p, std::string_view path);
+  Result<void> Close(Process& p, int fd);
+  Result<int64_t> Read(Process& p, int fd, std::span<char> dst);
+  // mmap-style access: fault in the pages of [offset, offset+length) exactly
+  // as Read would (demand paging, readahead, fault accounting) but return a
+  // zero-copy view instead of copying to a user buffer — no per-byte copy
+  // charge, only a small per-page touch cost. This is the "mmap-friendly
+  // SLEDs library" path the paper projects would reduce the CPU penalty
+  // (§5.2). The view is clamped at EOF and is invalidated by any operation
+  // that changes the file's size.
+  Result<std::string_view> MmapRead(Process& p, int fd, int64_t offset, int64_t length);
+  Result<int64_t> Write(Process& p, int fd, std::span<const char> src);
+  Result<int64_t> Lseek(Process& p, int fd, int64_t offset, Whence whence);
+  Result<InodeAttr> Stat(Process& p, std::string_view path);
+  Result<InodeAttr> Fstat(Process& p, int fd);
+  Result<std::vector<DirEntry>> ReadDir(Process& p, std::string_view path);
+  Result<void> Unlink(Process& p, std::string_view path);
+  Result<void> Ftruncate(Process& p, int fd, int64_t size);
+  Result<void> Fsync(Process& p, int fd);
+
+  // ---- SLEDs ioctls (paper §4.1) ----
+  // FSLEDS_FILL: install measured characteristics for a storage level.
+  Result<void> IoctlSledsFill(Process& p, int level, DeviceCharacteristics chars);
+  // FSLEDS_GET: scan the open file's pages and return its SLED vector.
+  Result<SledVector> IoctlSledsGet(Process& p, int fd);
+  // FSLEDS_LOCK / FSLEDS_UNLOCK (paper §3.4's proposed lock/reservation
+  // mechanism): pin the *currently resident* pages of [offset,
+  // offset+length) so eviction cannot invalidate the low-latency SLEDs an
+  // application just planned around. Returns the number of pages pinned.
+  // The kernel bounds total pins to half the cache; locks auto-release on
+  // Close. Unlock releases this descriptor's pins in the range (or all,
+  // with length < 0).
+  Result<int64_t> IoctlSledsLock(Process& p, int fd, int64_t offset, int64_t length);
+  Result<int64_t> IoctlSledsUnlock(Process& p, int fd, int64_t offset, int64_t length);
+
+  // Charge user-level CPU work (application processing loops) to a process.
+  // Keeps app compute on the same virtual clock as kernel work.
+  void ChargeAppCpu(Process& p, Duration d) { ChargeCpu(p, d); }
+
+  // ---- non-syscall control (test/experiment harness) ----
+  SimClock& clock() { return clock_; }
+  Vfs& vfs() { return vfs_; }
+  PageCache& cache() { return cache_; }
+  const SledsTable& sleds_table() const { return sleds_table_; }
+  const KernelStats& stats() const { return stats_; }
+  const KernelConfig& config() const { return config_; }
+
+  // Drop every clean page and discard the writeback queue after flushing.
+  // (Cold-cache experiment setup.)
+  void DropCaches();
+  // Flush all dirty state; returns device time spent (charged to the clock
+  // but no process).
+  Duration FlushAllDirty();
+
+ private:
+  Result<OpenFile*> FdOf(Process& p, int fd);
+  void ChargeCpu(Process& p, Duration d);
+  void ChargeIo(Process& p, Duration d);
+  void EnterSyscall(Process& p);
+
+  // Fetch pages [first, first+count) of the file into the cache, charging
+  // device time and fault accounting to `p`. Evicted dirty pages spill to
+  // the writeback queue (possibly flushing synchronously, charged to `p`).
+  Result<void> PageIn(Process& p, const OpenFile& of, int64_t first_page, int64_t count,
+                      int64_t demand_pages);
+
+  // Writeback machinery.
+  void QueueWriteback(Process* p, PageKey key);
+  Result<Duration> FlushWriteback();
+
+  FileSystem* FsOf(const OpenFile& of);
+
+  KernelConfig config_;
+  SimClock clock_;
+  Vfs vfs_;
+  PageCache cache_;
+  SledsTable sleds_table_;
+  KernelStats stats_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<PageKey> writeback_queue_;
+  int next_pid_ = 1;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_KERNEL_SIM_KERNEL_H_

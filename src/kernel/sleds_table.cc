@@ -1,0 +1,39 @@
+#include "src/kernel/sleds_table.h"
+
+#include "src/common/log.h"
+
+namespace sled {
+
+SledsTable::SledsTable(DeviceCharacteristics memory_chars) {
+  rows_.push_back({"memory", memory_chars, 0, -1});
+}
+
+int SledsTable::RegisterLevel(std::string name, DeviceCharacteristics chars, uint32_t fs_id,
+                              int local_level) {
+  rows_.push_back({std::move(name), chars, fs_id, local_level});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+Result<void> SledsTable::Fill(int level, DeviceCharacteristics chars) {
+  if (level < 0 || level >= size()) {
+    return Err::kInval;
+  }
+  rows_[static_cast<size_t>(level)].chars = chars;
+  return Result<void>::Ok();
+}
+
+Result<int> SledsTable::GlobalLevelOf(uint32_t fs_id, int local_level) const {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].fs_id == fs_id && rows_[i].local_level == local_level) {
+      return static_cast<int>(i);
+    }
+  }
+  return Err::kInval;
+}
+
+const SledsTable::Row& SledsTable::row(int level) const {
+  SLED_CHECK(level >= 0 && level < size(), "sleds_table row %d out of range", level);
+  return rows_[static_cast<size_t>(level)];
+}
+
+}  // namespace sled

@@ -1,0 +1,53 @@
+// The kernel `sleds_table` (paper §4.1): one latency/bandwidth row per
+// storage level in the system — primary memory plus every level of every
+// mounted file system. Rows are seeded with each device's model-derived
+// nominal characteristics at mount time and may be overwritten by the
+// boot-time calibration script through the FSLEDS_FILL ioctl, exactly as the
+// paper fills its table from lmbench measurements.
+#ifndef SLEDS_SRC_KERNEL_SLEDS_TABLE_H_
+#define SLEDS_SRC_KERNEL_SLEDS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/device/device.h"
+
+namespace sled {
+
+// Global index of the primary-memory row.
+inline constexpr int kMemoryLevel = 0;
+
+class SledsTable {
+ public:
+  struct Row {
+    std::string name;
+    DeviceCharacteristics chars;
+    uint32_t fs_id = 0;    // owning file system (0 for memory)
+    int local_level = -1;  // that file system's level index
+  };
+
+  explicit SledsTable(DeviceCharacteristics memory_chars);
+
+  // Register a storage level; returns its global level index.
+  int RegisterLevel(std::string name, DeviceCharacteristics chars, uint32_t fs_id,
+                    int local_level);
+
+  // FSLEDS_FILL: overwrite a row's characteristics with measured values.
+  Result<void> Fill(int level, DeviceCharacteristics chars);
+
+  // Map a file system's local level index to the global one. Fails if the
+  // level was never registered.
+  Result<int> GlobalLevelOf(uint32_t fs_id, int local_level) const;
+
+  const Row& row(int level) const;
+  int size() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_KERNEL_SLEDS_TABLE_H_

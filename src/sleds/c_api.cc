@@ -1,0 +1,88 @@
+#include "src/sleds/c_api.h"
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "src/sleds/delivery.h"
+#include "src/sleds/picker.h"
+
+namespace sled {
+namespace {
+
+// Registry of live pickers, keyed by (kernel, pid, fd). A process-global
+// table is inherent to the C API being mirrored (Core Guidelines I.30:
+// encapsulate the rule violation here, nowhere else).
+using PickerKey = std::tuple<const SimKernel*, int, int>;
+
+std::map<PickerKey, std::unique_ptr<SledsPicker>>& Registry() {
+  static std::map<PickerKey, std::unique_ptr<SledsPicker>> registry;
+  return registry;
+}
+
+PickerKey KeyOf(const SledsContext& ctx, int fd) {
+  return {ctx.kernel, ctx.process->pid(), fd};
+}
+
+bool ValidContext(const SledsContext& ctx) {
+  return ctx.kernel != nullptr && ctx.process != nullptr;
+}
+
+}  // namespace
+
+long sleds_pick_init(SledsContext ctx, int fd, long preferred_buffer_size,
+                     int record_separator) {
+  if (!ValidContext(ctx) || preferred_buffer_size <= 0) {
+    return -1;
+  }
+  PickerOptions options;
+  options.preferred_chunk_bytes = preferred_buffer_size;
+  if (record_separator >= 0) {
+    options.record_oriented = true;
+    options.record_separator = static_cast<char>(record_separator);
+  }
+  auto picker = SledsPicker::Create(*ctx.kernel, *ctx.process, fd, options);
+  if (!picker.ok()) {
+    return -1;
+  }
+  Registry()[KeyOf(ctx, fd)] = std::move(picker).value();
+  return preferred_buffer_size;
+}
+
+int sleds_pick_next_read(SledsContext ctx, int fd, long* offset, long* nbytes) {
+  if (!ValidContext(ctx) || offset == nullptr || nbytes == nullptr) {
+    return -1;
+  }
+  auto it = Registry().find(KeyOf(ctx, fd));
+  if (it == Registry().end()) {
+    return -1;
+  }
+  auto pick = it->second->NextRead();
+  if (!pick.ok()) {
+    return -1;
+  }
+  *offset = pick->offset;
+  *nbytes = pick->length;
+  return 0;
+}
+
+int sleds_pick_finish(SledsContext ctx, int fd) {
+  if (!ValidContext(ctx)) {
+    return -1;
+  }
+  return Registry().erase(KeyOf(ctx, fd)) > 0 ? 0 : -1;
+}
+
+double sleds_total_delivery_time(SledsContext ctx, int fd, int attack_plan) {
+  if (!ValidContext(ctx)) {
+    return -1.0;
+  }
+  const AttackPlan plan = attack_plan == SLEDS_BEST ? AttackPlan::kBest : AttackPlan::kLinear;
+  auto t = TotalDeliveryTime(*ctx.kernel, *ctx.process, fd, plan);
+  if (!t.ok()) {
+    return -1.0;
+  }
+  return t->ToSeconds();
+}
+
+}  // namespace sled

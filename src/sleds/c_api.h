@@ -1,0 +1,51 @@
+// The paper's C-flavoured library surface (Table 1):
+//
+//   function                    arguments                              returns
+//   sleds_pick_init             fd, preferred buffer size              buffer size
+//   sleds_pick_next_read        fd, buffer size, record flag           read location, size
+//   sleds_pick_finish           fd                                     (none)
+//   sleds_total_delivery_time   fd, attack plan                        estimated delivery time
+//
+// Because our kernel is a library object rather than the ambient OS, every
+// call takes a SledsContext naming the kernel and calling process; otherwise
+// signatures and semantics follow the paper. Applications written against
+// this API look exactly like the paper's Figure 5 pseudocode (see
+// examples/quickstart.cc).
+#ifndef SLEDS_SRC_SLEDS_C_API_H_
+#define SLEDS_SRC_SLEDS_C_API_H_
+
+#include "src/kernel/sim_kernel.h"
+
+namespace sled {
+
+struct SledsContext {
+  SimKernel* kernel = nullptr;
+  Process* process = nullptr;
+};
+
+inline constexpr int SLEDS_LINEAR = 0;
+inline constexpr int SLEDS_BEST = 1;
+
+// Initialize picking for `fd`. `record_separator` < 0 requests byte/page
+// oriented SLEDs; >= 0 requests record-oriented SLEDs with that separator
+// (paper: "to specify the character used to identify record boundaries").
+// Returns the buffer size the library will honour (== preferred_buffer_size),
+// or -1 on error.
+long sleds_pick_init(SledsContext ctx, int fd, long preferred_buffer_size,
+                     int record_separator = -1);
+
+// Advise the next read. Returns 0 and fills *offset/*nbytes; *nbytes == 0
+// when the file has been fully offered. Returns -1 on error or if
+// sleds_pick_init was not called for this fd.
+int sleds_pick_next_read(SledsContext ctx, int fd, long* offset, long* nbytes);
+
+// Tear down picking state for `fd`. Returns 0, or -1 if none exists.
+int sleds_pick_finish(SledsContext ctx, int fd);
+
+// Estimated delivery time, in seconds, for the whole file under
+// SLEDS_LINEAR or SLEDS_BEST. Returns a negative value on error.
+double sleds_total_delivery_time(SledsContext ctx, int fd, int attack_plan);
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_SLEDS_C_API_H_

@@ -1,0 +1,52 @@
+#include "src/sleds/delivery.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sled {
+
+Duration TotalDeliveryTime(const SledVector& sleds, AttackPlan plan) {
+  if (plan == AttackPlan::kLinear) {
+    Duration total;
+    for (const Sled& s : sleds) {
+      total += s.DeliveryTime();
+    }
+    return total;
+  }
+  // kBest: cheapest-first order.
+  SledVector ordered = sleds;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Sled& a, const Sled& b) { return a.latency < b.latency; });
+  Duration total;
+  for (const Sled& s : ordered) {
+    total += s.DeliveryTime();
+  }
+  return total;
+}
+
+Result<Duration> TotalDeliveryTime(SimKernel& kernel, Process& process, int fd, AttackPlan plan) {
+  SLED_ASSIGN_OR_RETURN(SledVector sleds, kernel.IoctlSledsGet(process, fd));
+  return TotalDeliveryTime(sleds, plan);
+}
+
+std::string FormatSledReport(const SimKernel& kernel, const SledVector& sleds) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%10s %12s %14s %14s  %s\n", "offset", "length", "latency",
+                "bandwidth", "level");
+  out += buf;
+  for (const Sled& s : sleds) {
+    std::snprintf(buf, sizeof(buf), "%10lld %12lld %14s %11.2f MB/s  %s\n",
+                  static_cast<long long>(s.offset), static_cast<long long>(s.length),
+                  SecondsF(s.latency).ToString().c_str(), s.bandwidth / 1e6,
+                  kernel.sleds_table().row(s.level).name.c_str());
+    out += buf;
+  }
+  const Duration total = TotalDeliveryTime(sleds, AttackPlan::kBest);
+  std::snprintf(buf, sizeof(buf), "estimated total delivery time: %s\n",
+                total.ToString().c_str());
+  out += buf;
+  return out;
+}
+
+}  // namespace sled

@@ -1,0 +1,32 @@
+// sleds_total_delivery_time (paper §4.2) and SLED reporting helpers (the gmc
+// file-properties panel, §5.2).
+#ifndef SLEDS_SRC_SLEDS_DELIVERY_H_
+#define SLEDS_SRC_SLEDS_DELIVERY_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/kernel/sim_kernel.h"
+#include "src/sleds/sled.h"
+
+namespace sled {
+
+// Estimated time to deliver a whole SLED vector under the given attack plan.
+// kLinear charges each section's latency in file order; kBest orders sections
+// cheapest-first (the pick library's plan). For full-file delivery the totals
+// coincide — every section is fetched exactly once either way — but the two
+// plans are kept distinct for API fidelity and for future device-state-aware
+// estimators.
+Duration TotalDeliveryTime(const SledVector& sleds, AttackPlan plan);
+
+// Convenience wrapper: fetch the SLEDs for `fd` and estimate.
+Result<Duration> TotalDeliveryTime(SimKernel& kernel, Process& process, int fd, AttackPlan plan);
+
+// Render a SLED vector the way the gmc properties panel shows it: one row per
+// SLED (offset, length, latency, bandwidth, level name) plus the estimated
+// total delivery time.
+std::string FormatSledReport(const SimKernel& kernel, const SledVector& sleds);
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_SLEDS_DELIVERY_H_

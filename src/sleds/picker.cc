@@ -1,0 +1,288 @@
+#include "src/sleds/picker.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/log.h"
+
+namespace sled {
+namespace {
+
+constexpr int64_t kScanBlock = 4 * kKiB;
+
+void SortPickOrder(SledVector& sleds) {
+  std::stable_sort(sleds.begin(), sleds.end(), [](const Sled& a, const Sled& b) {
+    if (a.latency != b.latency) {
+      return a.latency < b.latency;
+    }
+    return a.offset < b.offset;
+  });
+}
+
+}  // namespace
+
+SledsPicker::SledsPicker(SimKernel& kernel, Process& process, int fd, PickerOptions options)
+    : kernel_(kernel), process_(process), fd_(fd), options_(options) {}
+
+Result<std::unique_ptr<SledsPicker>> SledsPicker::Create(SimKernel& kernel, Process& process,
+                                                         int fd, PickerOptions options) {
+  if (options.preferred_chunk_bytes <= 0 || options.element_size < 0 ||
+      options.element_base < 0) {
+    return Err::kInval;
+  }
+  if (options.element_size > 0) {
+    // Picks must cover whole elements: round the chunk down to a multiple.
+    options.preferred_chunk_bytes =
+        std::max(options.element_size,
+                 (options.preferred_chunk_bytes / options.element_size) * options.element_size);
+  }
+  std::unique_ptr<SledsPicker> picker(new SledsPicker(kernel, process, fd, options));
+  SLED_ASSIGN_OR_RETURN(InodeAttr attr, kernel.Fstat(process, fd));
+  picker->file_size_ = attr.size;
+  SLED_RETURN_IF_ERROR(picker->BuildPlan());
+  return picker;
+}
+
+Result<SledVector> SledsPicker::FetchSleds(
+    const std::vector<std::pair<int64_t, int64_t>>& ranges) {
+  SLED_ASSIGN_OR_RETURN(SledVector all, kernel_.IoctlSledsGet(process_, fd_));
+  if (ranges.empty()) {
+    return all;
+  }
+  // Clip each SLED against the requested byte ranges.
+  SledVector clipped;
+  for (const Sled& s : all) {
+    for (const auto& [lo, hi] : ranges) {
+      const int64_t begin = std::max(s.offset, lo);
+      const int64_t end = std::min(s.offset + s.length, hi);
+      if (begin < end) {
+        Sled part = s;
+        part.offset = begin;
+        part.length = end - begin;
+        clipped.push_back(part);
+      }
+    }
+  }
+  std::sort(clipped.begin(), clipped.end(),
+            [](const Sled& a, const Sled& b) { return a.offset < b.offset; });
+  return clipped;
+}
+
+Result<void> SledsPicker::BuildPlan() {
+  SLED_ASSIGN_OR_RETURN(SledVector sleds, FetchSleds({}));
+  if (options_.record_oriented) {
+    SLED_RETURN_IF_ERROR(AdjustToRecordBoundaries(sleds));
+  }
+  if (options_.element_size > 0) {
+    AdjustToElementBoundaries(sleds);
+  }
+  SortPickOrder(sleds);
+  plan_ = std::move(sleds);
+  current_ = 0;
+  position_ = plan_.empty() ? 0 : plan_.front().offset;
+  return Result<void>::Ok();
+}
+
+Result<int64_t> SledsPicker::ScanForward(int64_t from, int64_t limit) {
+  std::vector<char> buf(static_cast<size_t>(kScanBlock));
+  int64_t pos = from;
+  while (pos < limit) {
+    const int64_t want = std::min<int64_t>(kScanBlock, limit - pos);
+    SLED_RETURN_IF_ERROR(kernel_.Lseek(process_, fd_, pos, Whence::kSet));
+    SLED_ASSIGN_OR_RETURN(
+        int64_t n, kernel_.Read(process_, fd_, std::span<char>(buf.data(),
+                                                               static_cast<size_t>(want))));
+    if (n <= 0) {
+      break;
+    }
+    const void* hit = std::memchr(buf.data(), options_.record_separator, static_cast<size_t>(n));
+    if (hit != nullptr) {
+      return pos + (static_cast<const char*>(hit) - buf.data()) + 1;
+    }
+    pos += n;
+  }
+  return static_cast<int64_t>(-1);
+}
+
+Result<int64_t> SledsPicker::ScanBackward(int64_t from, int64_t limit) {
+  std::vector<char> buf(static_cast<size_t>(kScanBlock));
+  int64_t end = from;
+  while (end > limit) {
+    const int64_t want = std::min<int64_t>(kScanBlock, end - limit);
+    const int64_t start = end - want;
+    SLED_RETURN_IF_ERROR(kernel_.Lseek(process_, fd_, start, Whence::kSet));
+    SLED_ASSIGN_OR_RETURN(
+        int64_t n, kernel_.Read(process_, fd_, std::span<char>(buf.data(),
+                                                               static_cast<size_t>(want))));
+    if (n <= 0) {
+      break;
+    }
+    for (int64_t i = n - 1; i >= 0; --i) {
+      if (buf[static_cast<size_t>(i)] == options_.record_separator) {
+        return start + i + 1;
+      }
+    }
+    end = start;
+  }
+  return static_cast<int64_t>(-1);
+}
+
+Result<void> SledsPicker::AdjustToRecordBoundaries(SledVector& sleds) {
+  if (sleds.size() < 2) {
+    return Result<void>::Ok();
+  }
+  // Interior boundaries; boundary[i] separates sleds[i] and sleds[i+1].
+  std::vector<int64_t> boundary(sleds.size() - 1);
+  for (size_t i = 0; i + 1 < sleds.size(); ++i) {
+    boundary[i] = sleds[i].offset + sleds[i].length;
+  }
+  for (size_t i = 0; i + 1 < sleds.size(); ++i) {
+    const int64_t b = boundary[i];
+    if (sleds[i + 1].latency < sleds[i].latency) {
+      // Left edge of a low-latency SLED: push the leading record fragment out
+      // to the expensive neighbour by scanning forward (on the cheap side)
+      // for the first record start.
+      const int64_t scan_limit =
+          std::min(sleds[i + 1].offset + sleds[i + 1].length, b + options_.max_record_scan_bytes);
+      SLED_ASSIGN_OR_RETURN(int64_t adjusted, ScanForward(b, scan_limit));
+      if (adjusted >= 0) {
+        boundary[i] = adjusted;
+      }
+    } else if (sleds[i].latency < sleds[i + 1].latency) {
+      // Right edge of a low-latency SLED: push the trailing fragment out by
+      // scanning backward (still on the cheap side) for the last record end.
+      const int64_t scan_limit = std::max(sleds[i].offset, b - options_.max_record_scan_bytes);
+      SLED_ASSIGN_OR_RETURN(int64_t adjusted, ScanBackward(b, scan_limit));
+      if (adjusted >= 0) {
+        boundary[i] = adjusted;
+      }
+    }
+  }
+  // Rebuild, keeping boundaries monotone (a tiny low-latency SLED with no
+  // separators can collapse to nothing).
+  for (size_t i = 1; i < boundary.size(); ++i) {
+    boundary[i] = std::max(boundary[i], boundary[i - 1]);
+  }
+  SledVector rebuilt;
+  for (size_t i = 0; i < sleds.size(); ++i) {
+    const int64_t begin = i == 0 ? sleds.front().offset : boundary[i - 1];
+    const int64_t end =
+        i + 1 == sleds.size() ? sleds.back().offset + sleds.back().length : boundary[i];
+    if (end > begin) {
+      Sled s = sleds[i];
+      s.offset = begin;
+      s.length = end - begin;
+      rebuilt.push_back(s);
+    }
+  }
+  sleds = std::move(rebuilt);
+  return Result<void>::Ok();
+}
+
+void SledsPicker::AdjustToElementBoundaries(SledVector& sleds) const {
+  if (sleds.size() < 2) {
+    return;
+  }
+  const int64_t elem = options_.element_size;
+  const int64_t base = options_.element_base;
+  std::vector<int64_t> boundary(sleds.size() - 1);
+  for (size_t i = 0; i + 1 < sleds.size(); ++i) {
+    boundary[i] = sleds[i].offset + sleds[i].length;
+  }
+  for (size_t i = 0; i + 1 < sleds.size(); ++i) {
+    const int64_t b = boundary[i];
+    if (b <= base) {
+      continue;  // inside the header region; element grid starts at base
+    }
+    const int64_t rel = b - base;
+    if (sleds[i + 1].latency < sleds[i].latency) {
+      // Left edge of a low-latency SLED: round up (fragment joins the
+      // expensive left neighbour).
+      boundary[i] = base + ((rel + elem - 1) / elem) * elem;
+    } else if (sleds[i].latency < sleds[i + 1].latency) {
+      // Right edge: round down.
+      boundary[i] = base + (rel / elem) * elem;
+    }
+  }
+  for (size_t i = 1; i < boundary.size(); ++i) {
+    boundary[i] = std::max(boundary[i], boundary[i - 1]);
+  }
+  const int64_t file_end = sleds.back().offset + sleds.back().length;
+  SledVector rebuilt;
+  for (size_t i = 0; i < sleds.size(); ++i) {
+    const int64_t begin = i == 0 ? sleds.front().offset : boundary[i - 1];
+    const int64_t end = i + 1 == sleds.size() ? file_end : std::min(boundary[i], file_end);
+    if (end > begin) {
+      Sled s = sleds[i];
+      s.offset = begin;
+      s.length = end - begin;
+      rebuilt.push_back(s);
+    }
+  }
+  sleds = std::move(rebuilt);
+}
+
+Result<void> SledsPicker::Refresh() {
+  // Remaining work: the tail of the current segment plus all later segments.
+  std::vector<std::pair<int64_t, int64_t>> remaining;
+  if (current_ < plan_.size()) {
+    const Sled& cur = plan_[current_];
+    if (position_ < cur.offset + cur.length) {
+      remaining.emplace_back(position_, cur.offset + cur.length);
+    }
+    for (size_t i = current_ + 1; i < plan_.size(); ++i) {
+      remaining.emplace_back(plan_[i].offset, plan_[i].offset + plan_[i].length);
+    }
+  }
+  if (remaining.empty()) {
+    return Result<void>::Ok();
+  }
+  SLED_ASSIGN_OR_RETURN(SledVector fresh, FetchSleds(remaining));
+  // Record adjustment is applied at init only; refreshed estimates keep page
+  // granularity (the separator scan already happened once). Element
+  // alignment is arithmetic, so it is re-applied.
+  if (options_.element_size > 0) {
+    AdjustToElementBoundaries(fresh);
+  }
+  SortPickOrder(fresh);
+  plan_ = std::move(fresh);
+  current_ = 0;
+  position_ = plan_.empty() ? 0 : plan_.front().offset;
+  return Result<void>::Ok();
+}
+
+Result<SledsPicker::Pick> SledsPicker::NextRead() {
+  if (options_.refresh_every_n_picks > 0 &&
+      picks_since_refresh_ >= options_.refresh_every_n_picks) {
+    SLED_RETURN_IF_ERROR(Refresh());
+    picks_since_refresh_ = 0;
+  }
+  while (current_ < plan_.size() && position_ >= plan_[current_].offset + plan_[current_].length) {
+    ++current_;
+    if (current_ < plan_.size()) {
+      position_ = plan_[current_].offset;
+    }
+  }
+  if (current_ >= plan_.size()) {
+    return Pick{0, 0};
+  }
+  const Sled& seg = plan_[current_];
+  const int64_t len = std::min(options_.preferred_chunk_bytes, seg.offset + seg.length - position_);
+  Pick pick{position_, len};
+  position_ += len;
+  ++picks_since_refresh_;
+  return pick;
+}
+
+int64_t SledsPicker::remaining_bytes() const {
+  if (current_ >= plan_.size()) {
+    return 0;
+  }
+  int64_t total = plan_[current_].offset + plan_[current_].length - position_;
+  for (size_t i = current_ + 1; i < plan_.size(); ++i) {
+    total += plan_[i].length;
+  }
+  return total;
+}
+
+}  // namespace sled

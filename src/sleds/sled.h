@@ -1,0 +1,59 @@
+// The Storage Latency Estimation Descriptor itself (paper Figure 2).
+//
+//   struct sled {
+//     long  offset;     /* into the file */
+//     long  length;     /* of the segment */
+//     float latency;    /* in seconds */
+//     float bandwidth;  /* in bytes/sec */
+//   };
+//
+// A SLED describes one contiguous section of a file whose pages share a
+// retrieval estimate: the latency to the first byte and the bandwidth once
+// data begins arriving. Walking a file start to end, every discontinuity in
+// storage medium / latency / bandwidth starts a new SLED (§3).
+//
+// We use double rather than float (the paper chose floating point for range
+// and arithmetic convenience; width is an implementation detail) and carry
+// the storage-level index as an extension field so utilities can name the
+// level ("memory", "disk", "tape-far") when reporting to users.
+#ifndef SLEDS_SRC_SLEDS_SLED_H_
+#define SLEDS_SRC_SLEDS_SLED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace sled {
+
+struct Sled {
+  int64_t offset = 0;       // byte offset into the file
+  int64_t length = 0;       // bytes covered by this descriptor
+  double latency = 0.0;     // seconds to the first byte
+  double bandwidth = 0.0;   // bytes/second once flowing
+
+  // Extension: index into the kernel sleds_table identifying the storage
+  // level that produced the estimate (0 = primary memory).
+  int level = 0;
+
+  // Estimated time to deliver the whole section.
+  Duration DeliveryTime() const {
+    return SecondsF(latency) + TransferTime(length, bandwidth);
+  }
+
+  friend bool operator==(const Sled&, const Sled&) = default;
+};
+
+using SledVector = std::vector<Sled>;
+
+// Estimated delivery time for a whole SLED vector under a given access plan
+// (see sleds_total_delivery_time, §4.2):
+//   kLinear — sections read in file order; every section pays its latency.
+//   kBest   — sections read lowest-latency-first; the estimate is identical
+//             in total (every section is still fetched once) but is the
+//             honest estimate for an application using the pick library.
+enum class AttackPlan { kLinear, kBest };
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_SLEDS_SLED_H_

@@ -1,0 +1,161 @@
+#include "src/workload/calibrate.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace sled {
+namespace {
+
+constexpr int64_t kScratchBytes = 8 * kMiB;
+constexpr int kLatencySamples = 16;
+
+// Pick a readable file on the fs for probing: a scratch file if writable,
+// else the first regular file found at the mount root.
+Result<std::string> ProbeFile(SimKernel& kernel, Process& process, const std::string& mount,
+                              FileSystem* fs) {
+  const std::string scratch = (mount == "/" ? "" : mount) + "/.sleds_calib";
+  if (!fs->read_only()) {
+    SLED_ASSIGN_OR_RETURN(int fd, kernel.Create(process, scratch));
+    const std::string block(static_cast<size_t>(256 * kKiB), 'c');
+    int64_t written = 0;
+    while (written < kScratchBytes) {
+      SLED_ASSIGN_OR_RETURN(
+          int64_t n, kernel.Write(process, fd, std::span<const char>(block.data(), block.size())));
+      written += n;
+    }
+    SLED_RETURN_IF_ERROR(kernel.Close(process, fd));
+    return scratch;
+  }
+  SLED_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, kernel.ReadDir(process, mount));
+  for (const DirEntry& e : entries) {
+    if (!e.is_dir) {
+      const std::string path = (mount == "/" ? "" : mount) + "/" + e.name;
+      SLED_ASSIGN_OR_RETURN(InodeAttr attr, kernel.Stat(process, path));
+      if (attr.size >= kScratchBytes / 2) {
+        return path;
+      }
+    }
+  }
+  return Err::kNoEnt;
+}
+
+struct Measured {
+  DeviceCharacteristics chars;
+};
+
+Result<Measured> MeasureFile(SimKernel& kernel, Process& process, const std::string& path,
+                             bool from_cache) {
+  SLED_ASSIGN_OR_RETURN(int fd, kernel.Open(process, path));
+  SLED_ASSIGN_OR_RETURN(InodeAttr attr, kernel.Fstat(process, fd));
+  const int64_t probe_bytes = std::min<int64_t>(attr.size, kScratchBytes);
+
+  // Bandwidth: one sequential sweep. Warm the cache first if measuring
+  // memory; drop it if measuring the device.
+  std::vector<char> buf(static_cast<size_t>(256 * kKiB));
+  auto sweep = [&]() -> Result<Duration> {
+    SLED_RETURN_IF_ERROR(kernel.Lseek(process, fd, 0, Whence::kSet));
+    const TimePoint t0 = kernel.clock().Now();
+    int64_t remaining = probe_bytes;
+    while (remaining > 0) {
+      const int64_t want = std::min<int64_t>(remaining, static_cast<int64_t>(buf.size()));
+      SLED_ASSIGN_OR_RETURN(
+          int64_t n, kernel.Read(process, fd, std::span<char>(buf.data(),
+                                                              static_cast<size_t>(want))));
+      if (n == 0) {
+        break;
+      }
+      remaining -= n;
+    }
+    return kernel.clock().Now() - t0;
+  };
+  if (from_cache) {
+    SLED_RETURN_IF_ERROR(sweep());  // warm
+  } else {
+    kernel.DropCaches();
+  }
+  SLED_ASSIGN_OR_RETURN(Duration sweep_time, sweep());
+  const double bandwidth =
+      static_cast<double>(probe_bytes) / std::max(sweep_time.ToSeconds(), 1e-12);
+
+  // Syscall baseline: a read at EOF goes through the whole syscall path but
+  // touches no pages; subtracting it isolates the storage-level cost.
+  char b;
+  SLED_RETURN_IF_ERROR(kernel.Lseek(process, fd, attr.size, Whence::kSet));
+  const TimePoint b0 = kernel.clock().Now();
+  SLED_RETURN_IF_ERROR(kernel.Read(process, fd, std::span<char>(&b, 1)));
+  const double baseline = (kernel.clock().Now() - b0).ToSeconds();
+
+  // Latency: scattered single-byte reads; subtract the baseline and the
+  // transfer component of the pages the kernel demand-fetches per probe.
+  Rng rng(12345);
+  const int64_t pages = PagesFor(probe_bytes);
+  double latency_sum = 0.0;
+  for (int i = 0; i < kLatencySamples; ++i) {
+    if (!from_cache) {
+      kernel.DropCaches();
+    }
+    const int64_t page = rng.Uniform(0, std::max<int64_t>(0, pages - 5));
+    SLED_RETURN_IF_ERROR(kernel.Lseek(process, fd, page * kPageSize, Whence::kSet));
+    const TimePoint t0 = kernel.clock().Now();
+    SLED_RETURN_IF_ERROR(kernel.Read(process, fd, std::span<char>(&b, 1)));
+    const Duration sample = kernel.clock().Now() - t0;
+    const double fetched_bytes =
+        from_cache ? 1.0 : static_cast<double>(kernel.config().min_readahead_pages) * kPageSize;
+    latency_sum += std::max(0.0, sample.ToSeconds() - baseline - fetched_bytes / bandwidth);
+  }
+  SLED_RETURN_IF_ERROR(kernel.Close(process, fd));
+  Measured m;
+  m.chars.latency = SecondsF(latency_sum / kLatencySamples);
+  m.chars.bandwidth_bps = bandwidth;
+  return m;
+}
+
+}  // namespace
+
+Result<std::vector<CalibrationRow>> CalibrateSledsTable(SimKernel& kernel, Process& process) {
+  std::vector<CalibrationRow> rows;
+  const SledsTable& table = kernel.sleds_table();
+
+  for (const auto& [mount, fs_id] : kernel.vfs().Mounts()) {
+    FileSystem* fs = kernel.vfs().FsById(fs_id);
+    if (fs->Levels().size() != 1) {
+      // Multi-level (HSM): keep nominals.
+      for (size_t i = 0; i < fs->Levels().size(); ++i) {
+        auto level = table.GlobalLevelOf(fs_id, static_cast<int>(i));
+        if (level.ok()) {
+          rows.push_back({level.value(), fs->Levels()[i].name,
+                          table.row(level.value()).chars, false});
+        }
+      }
+      continue;
+    }
+    auto probe = ProbeFile(kernel, process, mount, fs);
+    if (!probe.ok()) {
+      continue;  // nothing to measure with; keep the nominal
+    }
+    SLED_ASSIGN_OR_RETURN(Measured m, MeasureFile(kernel, process, probe.value(), false));
+    SLED_ASSIGN_OR_RETURN(int level, table.GlobalLevelOf(fs_id, 0));
+    SLED_RETURN_IF_ERROR(kernel.IoctlSledsFill(process, level, m.chars));
+    rows.push_back({level, fs->Levels()[0].name, m.chars, true});
+
+    // Use the first measurable file also for the memory row (once).
+    if (std::none_of(rows.begin(), rows.end(),
+                     [](const CalibrationRow& r) { return r.level == kMemoryLevel; })) {
+      SLED_ASSIGN_OR_RETURN(Measured mem, MeasureFile(kernel, process, probe.value(), true));
+      SLED_RETURN_IF_ERROR(kernel.IoctlSledsFill(process, kMemoryLevel, mem.chars));
+      rows.push_back({kMemoryLevel, "memory", mem.chars, true});
+    }
+    if (!fs->read_only()) {
+      const std::string scratch = (mount == "/" ? "" : mount) + "/.sleds_calib";
+      (void)kernel.Unlink(process, scratch);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const CalibrationRow& a, const CalibrationRow& b) { return a.level < b.level; });
+  return rows;
+}
+
+}  // namespace sled

@@ -1,0 +1,37 @@
+// Boot-time device characterization — the paper's lmbench script (§4.1):
+// "A sleds table, kept in the kernel, is filled by calling a script from
+// /etc/rc.d/init.d every time the machine is booted. ... The latency and
+// bandwidth for both local and network file systems are obtained by running
+// the lmbench benchmark. The script fills the kernel table via a new ioctl
+// call, FSLEDS_FILL."
+//
+// The calibrator measures each single-level mounted file system with timed
+// reads on the virtual clock (sequential sweep for bandwidth, scattered
+// cold-cache reads for latency) and installs the results via FSLEDS_FILL.
+// Multi-level file systems (HSM) keep their model-derived nominals: probing
+// a tape library at boot would take minutes of (simulated) robot time.
+#ifndef SLEDS_SRC_WORKLOAD_CALIBRATE_H_
+#define SLEDS_SRC_WORKLOAD_CALIBRATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace sled {
+
+struct CalibrationRow {
+  int level = 0;
+  std::string name;
+  DeviceCharacteristics measured;
+  bool filled = false;  // false: kept the mount-time nominal
+};
+
+// Measure every eligible level and FSLEDS_FILL the kernel table. Also
+// measures and fills the primary-memory row. Returns what was installed.
+Result<std::vector<CalibrationRow>> CalibrateSledsTable(SimKernel& kernel, Process& process);
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_WORKLOAD_CALIBRATE_H_

@@ -1,0 +1,57 @@
+#include "src/workload/experiment.h"
+
+#include "src/common/units.h"
+
+namespace sled {
+
+RunStats MeasureRun(SimKernel& kernel, const std::function<void(SimKernel&, Process&)>& fn) {
+  Process& p = kernel.CreateProcess("run");
+  fn(kernel, p);
+  RunStats stats;
+  stats.elapsed = p.stats().elapsed();
+  stats.major_faults = p.stats().major_faults;
+  return stats;
+}
+
+MeasuredPoint RunWarmCacheSeries(
+    Testbed& tb, int repeats, Rng& rng,
+    const std::function<void(SimKernel&, Process&, Rng&)>& per_run_setup,
+    const std::function<void(SimKernel&, Process&)>& run) {
+  auto one_run = [&]() -> RunStats {
+    if (per_run_setup) {
+      Process& setup = tb.kernel->CreateProcess("setup");
+      per_run_setup(*tb.kernel, setup, rng);
+    }
+    return MeasureRun(*tb.kernel, run);
+  };
+  // Warm-up: "The first run to warm the cache was discarded from the result."
+  (void)one_run();
+  std::vector<double> seconds;
+  std::vector<double> faults;
+  seconds.reserve(static_cast<size_t>(repeats));
+  faults.reserve(static_cast<size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const RunStats stats = one_run();
+    seconds.push_back(stats.elapsed.ToSeconds());
+    faults.push_back(static_cast<double>(stats.major_faults));
+  }
+  return {Summarize(seconds), Summarize(faults)};
+}
+
+std::vector<int64_t> PaperUnixSizes() {
+  std::vector<int64_t> sizes;
+  for (int mb = 8; mb <= 128; mb += 8) {
+    sizes.push_back(MiB(mb));
+  }
+  return sizes;
+}
+
+std::vector<int64_t> PaperLheasoftSizes() {
+  std::vector<int64_t> sizes;
+  for (int mb = 8; mb <= 64; mb += 8) {
+    sizes.push_back(MiB(mb));
+  }
+  return sizes;
+}
+
+}  // namespace sled

@@ -1,0 +1,48 @@
+// The measurement harness implementing the paper's experimental protocol
+// (§5.1): warm file cache, the first run discarded, twelve runs per
+// configuration executed repeatedly in the same mode, means with 90%
+// confidence intervals.
+#ifndef SLEDS_SRC_WORKLOAD_EXPERIMENT_H_
+#define SLEDS_SRC_WORKLOAD_EXPERIMENT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/kernel/sim_kernel.h"
+#include "src/workload/testbed.h"
+
+namespace sled {
+
+inline constexpr int kPaperRepeats = 12;
+
+// Stats deltas of one application run executed in a fresh process.
+struct RunStats {
+  Duration elapsed;
+  int64_t major_faults = 0;
+};
+
+// Execute `fn` in a fresh process; elapsed is the process's CPU + I/O time.
+RunStats MeasureRun(SimKernel& kernel, const std::function<void(SimKernel&, Process&)>& fn);
+
+// One measured configuration: time and fault summaries over `repeats` runs
+// after one discarded warm-up run. `per_run_setup` (may be empty) runs before
+// every run including the warm-up — e.g. moving grep's random marker.
+struct MeasuredPoint {
+  Summary seconds;
+  Summary faults;
+};
+
+MeasuredPoint RunWarmCacheSeries(
+    Testbed& tb, int repeats, Rng& rng,
+    const std::function<void(SimKernel&, Process&, Rng&)>& per_run_setup,
+    const std::function<void(SimKernel&, Process&)>& run);
+
+// Paper file-size sweeps.
+std::vector<int64_t> PaperUnixSizes();      // 8..128 MB step 8 (Figs 7-13)
+std::vector<int64_t> PaperLheasoftSizes();  // 8..64 MB step 8 (Figs 14-15)
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,35 @@
+#include "src/workload/fits_gen.h"
+
+#include <cmath>
+
+namespace sled {
+
+Result<FitsHeader> GenerateFitsImage(SimKernel& kernel, Process& process, std::string_view path,
+                                     int64_t approx_bytes, int bitpix, Rng& rng) {
+  const int64_t elem = (bitpix < 0 ? -bitpix : bitpix) / 8;
+  if (elem == 0 || approx_bytes < kFitsBlock * 2) {
+    return Err::kInval;
+  }
+  int64_t side = static_cast<int64_t>(std::sqrt(static_cast<double>(approx_bytes / elem)));
+  side -= side % 4;
+  if (side < 4) {
+    return Err::kInval;
+  }
+  FitsImage image;
+  image.header.bitpix = bitpix;
+  image.header.naxis = {side, side};
+  image.pixels.resize(static_cast<size_t>(side * side));
+  for (int64_t y = 0; y < side; ++y) {
+    for (int64_t x = 0; x < side; ++x) {
+      const double gradient = 100.0 * (static_cast<double>(x + y) / static_cast<double>(2 * side));
+      const double noise = rng.Normal(0.0, 5.0);
+      image.pixels[static_cast<size_t>(y * side + x)] = gradient + noise;
+    }
+  }
+  SLED_RETURN_IF_ERROR(FitsWriteImage(kernel, process, path, image));
+  FitsHeader header = image.header;
+  header.data_offset = static_cast<int64_t>(FitsEncodeHeader(header).size());
+  return header;
+}
+
+}  // namespace sled

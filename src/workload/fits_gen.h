@@ -1,0 +1,23 @@
+// FITS image workload generation for the LHEASOFT experiments.
+#ifndef SLEDS_SRC_WORKLOAD_FITS_GEN_H_
+#define SLEDS_SRC_WORKLOAD_FITS_GEN_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/fits/fits.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace sled {
+
+// Create a square 2-D image at `path` whose on-disk size (header + padded
+// data) is approximately `approx_bytes`. Pixels are a smooth gradient plus
+// noise (so histograms and rebinning produce meaningful output). Dimensions
+// are rounded to a multiple of 4 so fimgbin's 2x and 4x boxcars divide them.
+Result<FitsHeader> GenerateFitsImage(SimKernel& kernel, Process& process, std::string_view path,
+                                     int64_t approx_bytes, int bitpix, Rng& rng);
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_WORKLOAD_FITS_GEN_H_

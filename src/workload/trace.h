@@ -1,0 +1,93 @@
+// I/O trace capture and replay.
+//
+// A TraceSink attached to the kernel records every data-plane syscall an
+// application issues (open/read/write/lseek/mmap/close). A recorded trace
+// can then be replayed — verbatim, or with the SLEDs pick library re-planning
+// the read order — against any testbed, separating *what* an application
+// asks for from *where* the data lives. This is the workhorse for
+// device-sensitivity studies: capture wc's pattern once, replay it on disk,
+// CD-ROM, NFS, or the HSM without re-running the application logic.
+#ifndef SLEDS_SRC_WORKLOAD_TRACE_H_
+#define SLEDS_SRC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace sled {
+
+enum class TraceOp { kOpen, kClose, kRead, kWrite, kLseek, kMmapRead };
+
+struct TraceEvent {
+  TraceOp op = TraceOp::kOpen;
+  int fd = -1;           // application-side descriptor id
+  std::string path;      // for kOpen
+  int64_t offset = 0;    // kLseek target (absolute), kMmapRead offset
+  int64_t length = 0;    // kRead/kWrite/kMmapRead byte count
+};
+
+using Trace = std::vector<TraceEvent>;
+
+// Render / parse a compact one-event-per-line text form, so traces can be
+// saved and shipped:  "open 3 /data/f.txt", "read 3 65536", ...
+std::string FormatTrace(const Trace& trace);
+Result<Trace> ParseTrace(const std::string& text);
+
+// Statistics over a trace (for reporting).
+struct TraceStats {
+  int64_t events = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  int64_t seeks = 0;
+  int64_t opens = 0;
+};
+TraceStats SummarizeTrace(const Trace& trace);
+
+// Replay options.
+struct ReplayOptions {
+  // Re-plan each file's reads with the SLEDs picker instead of following the
+  // recorded order. Only applies to files the trace *reads sequentially or
+  // with explicit seeks*; writes always replay verbatim.
+  bool reorder_reads_with_sleds = false;
+  int64_t picker_chunk_bytes = 64 * 1024;
+};
+
+struct ReplayResult {
+  Duration elapsed;
+  int64_t major_faults = 0;
+};
+
+// Replay `trace` in a fresh process on `kernel`. Descriptor ids in the trace
+// are mapped to live fds. Fails on the first syscall error.
+Result<ReplayResult> ReplayTrace(SimKernel& kernel, const Trace& trace,
+                                 const ReplayOptions& options = {});
+
+// A recorder the instrumented helpers below append to. (The kernel itself is
+// unmodified; recording wraps the syscall layer, the way strace wraps libc.)
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(SimKernel& kernel, Process& process)
+      : kernel_(kernel), process_(process) {}
+
+  // Wrapped syscalls: identical signatures and behaviour, plus recording.
+  Result<int> Open(std::string_view path);
+  Result<void> Close(int fd);
+  Result<int64_t> Read(int fd, std::span<char> dst);
+  Result<int64_t> Write(int fd, std::span<const char> src);
+  Result<int64_t> Lseek(int fd, int64_t offset, Whence whence);
+  Result<std::string_view> MmapRead(int fd, int64_t offset, int64_t length);
+
+  const Trace& trace() const { return trace_; }
+  Trace TakeTrace() { return std::move(trace_); }
+
+ private:
+  SimKernel& kernel_;
+  Process& process_;
+  Trace trace_;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,212 @@
+// Unit and property tests for the page cache, including the paper's Figure 3
+// two-pass LRU walkthrough.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cache/page_cache.h"
+#include "src/common/rng.h"
+
+namespace sled {
+namespace {
+
+PageKey K(FileId f, int64_t p) { return PageKey{f, p}; }
+
+TEST(PageCacheTest, MissThenHit) {
+  PageCache cache({.capacity_pages = 4});
+  EXPECT_FALSE(cache.Touch(K(1, 0)));
+  EXPECT_FALSE(cache.Contains(K(1, 0)));
+  cache.Insert(K(1, 0), false);
+  EXPECT_TRUE(cache.Contains(K(1, 0)));
+  EXPECT_TRUE(cache.Touch(K(1, 0)));
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(PageCacheTest, LruEvictsLeastRecentlyUsed) {
+  PageCache cache({.capacity_pages = 3});
+  cache.Insert(K(1, 0), false);
+  cache.Insert(K(1, 1), false);
+  cache.Insert(K(1, 2), false);
+  EXPECT_TRUE(cache.Touch(K(1, 0)));  // 1 is now LRU
+  auto evicted = cache.Insert(K(1, 3), false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, K(1, 1));
+  EXPECT_TRUE(cache.Contains(K(1, 0)));
+  EXPECT_FALSE(cache.Contains(K(1, 1)));
+}
+
+// Figure 3 of the paper: a five-page file scanned twice through a three-frame
+// LRU cache. The second pass gains nothing: each block is evicted just before
+// it is needed again.
+TEST(PageCacheTest, PaperFigure3TwoLinearPasses) {
+  PageCache cache({.capacity_pages = 3});
+  const FileId f = 9;
+  int64_t device_reads = 0;
+  auto linear_pass = [&] {
+    for (int64_t p = 0; p < 5; ++p) {
+      if (!cache.Touch(K(f, p))) {
+        ++device_reads;
+        cache.Insert(K(f, p), false);
+      }
+    }
+  };
+  linear_pass();
+  EXPECT_EQ(device_reads, 5);
+  // After the first pass the cache holds the tail: blocks 2,3,4 (0-indexed).
+  EXPECT_EQ(cache.ResidentPagesOf(f), (std::vector<int64_t>{2, 3, 4}));
+  linear_pass();
+  // Second pass re-reads everything: LRU gave no reuse at all.
+  EXPECT_EQ(device_reads, 10);
+  EXPECT_EQ(cache.ResidentPagesOf(f), (std::vector<int64_t>{2, 3, 4}));
+}
+
+// The SLEDs fix for Figure 3: read the cached tail first, then the head.
+// Only the two uncached blocks hit the device.
+TEST(PageCacheTest, PaperFigure3SledsOrderReadsCachedTailFirst) {
+  PageCache cache({.capacity_pages = 3});
+  const FileId f = 9;
+  for (int64_t p = 0; p < 5; ++p) {
+    cache.Touch(K(f, p));
+    cache.Insert(K(f, p), false);
+  }
+  int64_t device_reads = 0;
+  for (int64_t p : {2, 3, 4, 0, 1}) {  // cached first, then the head
+    if (!cache.Touch(K(f, p))) {
+      ++device_reads;
+      cache.Insert(K(f, p), false);
+    }
+  }
+  EXPECT_EQ(device_reads, 2);
+}
+
+TEST(PageCacheTest, ReinsertRefreshesRecencyAndAccumulatesDirty) {
+  PageCache cache({.capacity_pages = 2});
+  cache.Insert(K(1, 0), false);
+  cache.Insert(K(1, 1), false);
+  cache.Insert(K(1, 0), true);  // refresh + dirty
+  EXPECT_TRUE(cache.IsDirty(K(1, 0)));
+  auto evicted = cache.Insert(K(1, 2), false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, K(1, 1));  // 0 was refreshed, 1 is the victim
+}
+
+TEST(PageCacheTest, DirtyEvictionIsReported) {
+  PageCache cache({.capacity_pages = 1});
+  cache.Insert(K(1, 0), true);
+  auto evicted = cache.Insert(K(1, 1), false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_TRUE(evicted->dirty);
+  EXPECT_EQ(cache.stats().dirty_evictions, 1);
+}
+
+TEST(PageCacheTest, MarkDirtyAndFsyncWorkflow) {
+  PageCache cache({.capacity_pages = 8});
+  cache.Insert(K(1, 3), false);
+  cache.Insert(K(1, 1), false);
+  cache.Insert(K(2, 0), false);
+  cache.MarkDirty(K(1, 3));
+  cache.MarkDirty(K(1, 1));
+  cache.MarkDirty(K(2, 0));
+  const auto dirty = cache.DirtyPagesOf(1);
+  ASSERT_EQ(dirty.size(), 2u);
+  EXPECT_EQ(dirty[0].page, 1);  // sorted by page
+  EXPECT_EQ(dirty[1].page, 3);
+  cache.MarkClean(K(1, 1));
+  EXPECT_EQ(cache.DirtyPagesOf(1).size(), 1u);
+  EXPECT_EQ(cache.AllDirtyPages().size(), 2u);
+}
+
+TEST(PageCacheTest, RemoveFileDropsOnlyThatFile) {
+  PageCache cache({.capacity_pages = 8});
+  cache.Insert(K(1, 0), true);
+  cache.Insert(K(1, 1), false);
+  cache.Insert(K(2, 0), false);
+  cache.RemoveFile(1);
+  EXPECT_FALSE(cache.Contains(K(1, 0)));
+  EXPECT_FALSE(cache.Contains(K(1, 1)));
+  EXPECT_TRUE(cache.Contains(K(2, 0)));
+  EXPECT_EQ(cache.size_pages(), 1);
+}
+
+TEST(PageCacheTest, ClearEmptiesEverything) {
+  PageCache cache({.capacity_pages = 8});
+  cache.Insert(K(1, 0), true);
+  cache.Insert(K(2, 0), false);
+  cache.Clear();
+  EXPECT_EQ(cache.size_pages(), 0);
+  EXPECT_FALSE(cache.Contains(K(1, 0)));
+}
+
+TEST(PageCacheTest, ContainsDoesNotPerturbReplacement) {
+  PageCache cache({.capacity_pages = 2});
+  cache.Insert(K(1, 0), false);
+  cache.Insert(K(1, 1), false);
+  // A SLED scan probes page 0 without touching it...
+  EXPECT_TRUE(cache.Contains(K(1, 0)));
+  // ...so page 0 is still the LRU victim.
+  auto evicted = cache.Insert(K(1, 2), false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, K(1, 0));
+}
+
+TEST(ClockPolicyTest, SecondChanceSavesReferencedPages) {
+  PageCache cache({.capacity_pages = 3, .policy = ReplacementPolicy::kClock});
+  cache.Insert(K(1, 0), false);
+  cache.Insert(K(1, 1), false);
+  cache.Insert(K(1, 2), false);
+  EXPECT_TRUE(cache.Touch(K(1, 0)));  // sets the reference bit
+  auto evicted = cache.Insert(K(1, 3), false);
+  ASSERT_TRUE(evicted.has_value());
+  // Page 0 was referenced: the hand skips it and takes page 1.
+  EXPECT_EQ(evicted->key, K(1, 1));
+  EXPECT_TRUE(cache.Contains(K(1, 0)));
+}
+
+TEST(ClockPolicyTest, UnreferencedPagesEvictFifo) {
+  PageCache cache({.capacity_pages = 2, .policy = ReplacementPolicy::kClock});
+  cache.Insert(K(1, 0), false);
+  cache.Insert(K(1, 1), false);
+  auto evicted = cache.Insert(K(1, 2), false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, K(1, 0));
+}
+
+// Property test across policies: capacity is never exceeded, eviction always
+// reports the true victim, and resident bookkeeping matches a model set.
+class CachePropertyTest
+    : public ::testing::TestWithParam<std::tuple<ReplacementPolicy, int, uint64_t>> {};
+
+TEST_P(CachePropertyTest, ModelConformance) {
+  const auto [policy, capacity, seed] = GetParam();
+  PageCache cache({.capacity_pages = capacity, .policy = policy});
+  Rng rng(seed);
+  std::set<std::pair<FileId, int64_t>> model;
+  for (int i = 0; i < 2000; ++i) {
+    const PageKey key = K(rng.Uniform(1, 3), rng.Uniform(0, 2 * capacity));
+    const int op = static_cast<int>(rng.Uniform(0, 9));
+    if (op < 5) {
+      const bool hit = cache.Touch(key);
+      EXPECT_EQ(hit, model.contains({key.file, key.page}));
+    } else if (op < 8) {
+      auto evicted = cache.Insert(key, rng.Bernoulli(0.3));
+      model.insert({key.file, key.page});
+      if (evicted.has_value()) {
+        EXPECT_TRUE(model.erase({evicted->key.file, evicted->key.page}) > 0);
+      }
+    } else {
+      cache.Remove(key);
+      model.erase({key.file, key.page});
+    }
+    ASSERT_LE(cache.size_pages(), capacity);
+    ASSERT_EQ(cache.size_pages(), static_cast<int64_t>(model.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CachePropertyTest,
+    ::testing::Combine(::testing::Values(ReplacementPolicy::kLru, ReplacementPolicy::kClock),
+                       ::testing::Values(1, 3, 16, 64), ::testing::Values(11u, 42u, 1234u)));
+
+}  // namespace
+}  // namespace sled

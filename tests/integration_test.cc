@@ -1,0 +1,229 @@
+// End-to-end integration tests: miniature versions of the paper's
+// experiments with assertions on the *direction* of every headline result.
+// These guard the whole stack — devices, cache, kernel, SLEDs library,
+// applications, workload harness — against regressions that unit tests of
+// individual layers cannot see.
+#include <gtest/gtest.h>
+
+#include "src/apps/fimgbin.h"
+#include "src/apps/fimhisto.h"
+#include "src/apps/find.h"
+#include "src/apps/grep.h"
+#include "src/apps/wc.h"
+#include "src/sleds/delivery.h"
+#include "src/workload/calibrate.h"
+#include "src/workload/experiment.h"
+#include "src/workload/fits_gen.h"
+#include "src/workload/testbed.h"
+#include "src/workload/text_gen.h"
+
+namespace sled {
+namespace {
+
+// Small machine so the experiments are fast: 8 MiB cache.
+TestbedConfig SmallMachine(StorageKind kind, uint64_t seed) {
+  TestbedConfig config;
+  config.kind = kind;
+  config.cache_pages = 2048;
+  config.seed = seed;
+  return config;
+}
+
+MeasuredPoint MeasureWc(Testbed& tb, bool use_sleds, int repeats = 6) {
+  Rng rng(42);
+  return RunWarmCacheSeries(tb, repeats, rng, nullptr, [&](SimKernel& k, Process& p) {
+    WcOptions options;
+    options.use_sleds = use_sleds;
+    ASSERT_TRUE(WcApp::Run(k, p, "/data/f.txt", options).ok());
+  });
+}
+
+// Figure 7 in miniature: wc over NFS, file 1.5x the cache.
+TEST(FigureShapeTest, WcNfsAboveCacheSizeSledsWin) {
+  for (bool use_sleds : {false, true}) {
+    Testbed tb = MakeTestbed(SmallMachine(StorageKind::kNfs, use_sleds ? 1 : 2));
+    Process& gen = tb.kernel->CreateProcess("gen");
+    Rng rng(3);
+    ASSERT_TRUE(GenerateTextFile(*tb.kernel, gen, "/data/f.txt", MiB(12), rng).ok());
+    tb.kernel->DropCaches();
+    const MeasuredPoint point = MeasureWc(tb, use_sleds);
+    if (use_sleds) {
+      // ~4 MiB must come over the wire at 1 MB/s: at least ~4 s...
+      EXPECT_GT(point.seconds.mean, 3.0);
+      // ...but clearly better than the full 12 MiB refetch.
+      EXPECT_LT(point.seconds.mean, 9.0);
+      EXPECT_LT(point.faults.mean, 1500);
+    } else {
+      EXPECT_GT(point.seconds.mean, 11.0);
+      EXPECT_NEAR(point.faults.mean, 3072, 64);  // every page, every run
+    }
+  }
+}
+
+// Below the cache size both modes are equally fast (warm).
+TEST(FigureShapeTest, WcBelowCacheSizeNoDifference) {
+  Testbed tb = MakeTestbed(SmallMachine(StorageKind::kDisk, 4));
+  Process& gen = tb.kernel->CreateProcess("gen");
+  Rng rng(5);
+  ASSERT_TRUE(GenerateTextFile(*tb.kernel, gen, "/data/f.txt", MiB(4), rng).ok());
+  tb.kernel->DropCaches();
+  const MeasuredPoint without = MeasureWc(tb, false);
+  const MeasuredPoint with = MeasureWc(tb, true);
+  EXPECT_EQ(without.faults.mean, 0.0);
+  EXPECT_EQ(with.faults.mean, 0.0);
+  // SLEDs overhead on a cached file is bounded (paper: small absolute value).
+  EXPECT_LT(with.seconds.mean, without.seconds.mean * 1.2);
+}
+
+// Figure 9 in miniature: fault counts, CD-ROM.
+TEST(FigureShapeTest, FaultReductionEqualsCachedPortion) {
+  for (bool use_sleds : {false, true}) {
+    Testbed tb = MakeTestbed(SmallMachine(StorageKind::kCdRom, use_sleds ? 6 : 7));
+    Process& gen = tb.kernel->CreateProcess("master");
+    Rng rng(8);
+    ASSERT_TRUE(GenerateTextFile(*tb.kernel, gen, "/data/f.txt", MiB(16), rng).ok());
+    tb.FinishMastering();
+    const MeasuredPoint point = MeasureWc(tb, use_sleds);
+    if (use_sleds) {
+      // file pages (4096) minus cache pages (2048), within slack.
+      EXPECT_LT(point.faults.mean, 2500);
+    } else {
+      EXPECT_NEAR(point.faults.mean, 4096, 64);
+    }
+  }
+}
+
+// Figure 11/13 in miniature: -q first match with random placement; the
+// with-SLEDs distribution must be far below the without one, with the
+// characteristic cache-fraction jump in its CDF.
+TEST(FigureShapeTest, GrepFirstMatchDistribution) {
+  auto collect = [&](bool use_sleds) -> Cdf {
+    Testbed tb = MakeTestbed(SmallMachine(StorageKind::kDisk, use_sleds ? 9 : 10));
+    Process& gen = tb.kernel->CreateProcess("gen");
+    Rng rng(11);
+    const int64_t size = MiB(12);
+    EXPECT_TRUE(GenerateTextFile(*tb.kernel, gen, "/data/f.txt", size, rng).ok());
+    tb.kernel->DropCaches();
+    int64_t marker = -1;
+    std::vector<double> times;
+    for (int i = 0; i < 20; ++i) {
+      Process& setup = tb.kernel->CreateProcess("setup");
+      marker = MoveMarkerScrubbed(*tb.kernel, setup, "/data/f.txt", marker,
+                                  rng.Uniform(0, size - kGenLineLen), rng)
+                   .value();
+      const RunStats stats = MeasureRun(*tb.kernel, [&](SimKernel& k, Process& p) {
+        GrepOptions options;
+        options.use_sleds = use_sleds;
+        options.quiet_first_match = true;
+        auto r = GrepApp::Run(k, p, "/data/f.txt", std::string(kGrepMarker), options);
+        EXPECT_TRUE(r.ok());
+        EXPECT_TRUE(r.ok() && r->found);
+      });
+      if (i > 0) {
+        times.push_back(stats.elapsed.ToSeconds());
+      }
+    }
+    return Cdf(std::move(times));
+  };
+  const Cdf with = collect(true);
+  const Cdf without = collect(false);
+  EXPECT_LT(with.Quantile(0.5), without.Quantile(0.5));
+  // The with-SLEDs CDF has the instant-service regime: a solid fraction of
+  // runs finish in well under the time to scan even 1 MiB from disk.
+  EXPECT_GT(with.At(0.25), 0.2);
+}
+
+// Figure 14/15 in miniature.
+TEST(FigureShapeTest, FitsToolsBenefitAboveCache) {
+  auto run_tool = [&](bool use_sleds, bool histo) {
+    TestbedConfig config = SmallMachine(StorageKind::kDisk, use_sleds ? 12 : 13);
+    Testbed tb = MakeTestbed(config);
+    Process& gen = tb.kernel->CreateProcess("gen");
+    Rng rng(14);
+    EXPECT_TRUE(GenerateFitsImage(*tb.kernel, gen, "/data/i.fits", MiB(12), -32, rng).ok());
+    tb.kernel->DropCaches();
+    Rng run_rng(15);
+    return RunWarmCacheSeries(tb, 4, run_rng, nullptr, [&](SimKernel& k, Process& p) {
+      if (histo) {
+        FimhistoOptions options;
+        options.use_sleds = use_sleds;
+        ASSERT_TRUE(FimhistoApp::Run(k, p, "/data/i.fits", "/data/o.fits", options).ok());
+      } else {
+        FimgbinOptions options;
+        options.use_sleds = use_sleds;
+        ASSERT_TRUE(FimgbinApp::Run(k, p, "/data/i.fits", "/data/o.fits", options).ok());
+      }
+    });
+  };
+  const MeasuredPoint histo_with = run_tool(true, true);
+  const MeasuredPoint histo_without = run_tool(false, true);
+  EXPECT_LT(histo_with.seconds.mean, histo_without.seconds.mean);
+  EXPECT_LT(histo_with.faults.mean, histo_without.faults.mean);
+  const MeasuredPoint bin_with = run_tool(true, false);
+  const MeasuredPoint bin_without = run_tool(false, false);
+  EXPECT_LT(bin_with.seconds.mean, bin_without.seconds.mean * 1.02);
+}
+
+// The calibration + report pipeline works on every testbed kind.
+TEST(PipelineTest, CalibrateThenReportOnAllKinds) {
+  for (StorageKind kind : {StorageKind::kDisk, StorageKind::kCdRom, StorageKind::kNfs}) {
+    Testbed tb = MakeTestbed(SmallMachine(kind, 20));
+    Process& boot = tb.kernel->CreateProcess("boot");
+    auto rows = CalibrateSledsTable(*tb.kernel, boot);
+    ASSERT_TRUE(rows.ok()) << StorageKindName(kind);
+    ASSERT_FALSE(rows->empty());
+    // Latency ordering: memory is always the cheapest level.
+    const SledsTable& table = tb.kernel->sleds_table();
+    for (int i = 1; i < table.size(); ++i) {
+      EXPECT_LE(table.row(kMemoryLevel).chars.latency, table.row(i).chars.latency);
+    }
+  }
+}
+
+// HSM end to end: migrate, find -latency classification, recall via read.
+TEST(PipelineTest, HsmLifecycle) {
+  Testbed tb = MakeHsmTestbed(30);
+  auto* hsm = dynamic_cast<HsmFs*>(tb.kernel->vfs().FsById(tb.data_fs_id));
+  ASSERT_NE(hsm, nullptr);
+  Process& p = tb.kernel->CreateProcess("user");
+  Rng rng(30);
+  ASSERT_TRUE(GenerateTextFile(*tb.kernel, p, "/data/a.txt", MiB(2), rng).ok());
+  ASSERT_TRUE(GenerateTextFile(*tb.kernel, p, "/data/b.txt", MiB(2), rng).ok());
+  const InodeNum b_ino = tb.kernel->vfs().Resolve("/data/b.txt").value().ino;
+  ASSERT_TRUE(hsm->Migrate(b_ino).ok());
+  tb.kernel->DropCaches();
+
+  // find classifies by latency: a is cheap, b needs the robot.
+  FindOptions cheap;
+  cheap.latency = ParseLatencyPredicate("-5").value();
+  const FindResult fast = FindApp::Run(*tb.kernel, p, "/data", cheap).value();
+  ASSERT_EQ(fast.paths.size(), 1u);
+  EXPECT_EQ(fast.paths[0], "/data/a.txt");
+
+  // Reading b recalls it; afterwards it is cheap too.
+  WcOptions wc;
+  ASSERT_TRUE(WcApp::Run(*tb.kernel, p, "/data/b.txt", wc).ok());
+  const FindResult fast2 = FindApp::Run(*tb.kernel, p, "/data", cheap).value();
+  EXPECT_EQ(fast2.paths.size(), 2u);
+}
+
+// Delivery-time estimates track reality: the estimate for a cold file must
+// be within a small factor of the measured cold read time.
+TEST(PipelineTest, DeliveryEstimateTracksMeasuredTime) {
+  Testbed tb = MakeTestbed(SmallMachine(StorageKind::kDisk, 40));
+  Process& p = tb.kernel->CreateProcess("user");
+  Rng rng(40);
+  ASSERT_TRUE(GenerateTextFile(*tb.kernel, p, "/data/f.txt", MiB(6), rng).ok());
+  tb.kernel->DropCaches();
+  const int fd = tb.kernel->Open(p, "/data/f.txt").value();
+  const Duration estimate = TotalDeliveryTime(*tb.kernel, p, fd, AttackPlan::kBest).value();
+  ASSERT_TRUE(tb.kernel->Close(p, fd).ok());
+  const RunStats measured = MeasureRun(*tb.kernel, [](SimKernel& k, Process& proc) {
+    ASSERT_TRUE(WcApp::Run(k, proc, "/data/f.txt", WcOptions{}).ok());
+  });
+  EXPECT_GT(measured.elapsed.ToSeconds(), estimate.ToSeconds() * 0.5);
+  EXPECT_LT(measured.elapsed.ToSeconds(), estimate.ToSeconds() * 3.0);
+}
+
+}  // namespace
+}  // namespace sled

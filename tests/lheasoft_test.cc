@@ -1,0 +1,195 @@
+// Tests for the LHEASOFT tools (fimhisto, fimgbin) and the element scanner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "src/apps/fimgbin.h"
+#include "src/apps/fimhisto.h"
+#include "src/apps/fits_scan.h"
+#include "src/common/rng.h"
+#include "src/device/disk_device.h"
+#include "src/fs/extent_file_system.h"
+#include "src/workload/fits_gen.h"
+
+namespace sled {
+namespace {
+
+struct World {
+  std::unique_ptr<SimKernel> kernel;
+  Process* proc = nullptr;
+};
+
+World MakeWorld(int64_t cache_pages = 4096) {
+  World w;
+  KernelConfig config;
+  config.cache.capacity_pages = cache_pages;
+  w.kernel = std::make_unique<SimKernel>(config);
+  auto fs = std::make_unique<ExtFs>("ext2", std::make_unique<DiskDevice>(DiskDeviceConfig{}));
+  EXPECT_TRUE(w.kernel->Mount("/", std::move(fs)).ok());
+  w.proc = &w.kernel->CreateProcess("test");
+  return w;
+}
+
+FitsHeader MakeTestImage(World& w, const std::string& path, int bitpix, int64_t side,
+                         uint64_t seed) {
+  FitsImage image;
+  image.header.bitpix = bitpix;
+  image.header.naxis = {side, side};
+  image.pixels.resize(static_cast<size_t>(side * side));
+  Rng rng(seed);
+  for (size_t i = 0; i < image.pixels.size(); ++i) {
+    image.pixels[i] = std::floor(rng.Normal(100.0, 20.0));
+  }
+  EXPECT_TRUE(FitsWriteImage(*w.kernel, *w.proc, path, image).ok());
+  FitsHeader header = image.header;
+  header.data_offset = static_cast<int64_t>(FitsEncodeHeader(header).size());
+  return header;
+}
+
+TEST(FitsScanTest, SequentialAndSledsSeeSameElements) {
+  World w = MakeWorld();
+  const FitsHeader header = MakeTestImage(w, "/img.fits", -32, 128, 3);
+  const int fd = w.kernel->Open(*w.proc, "/img.fits").value();
+
+  auto collect = [&](bool use_sleds) {
+    std::vector<double> values(static_cast<size_t>(header.element_count()), 0.0);
+    EXPECT_TRUE(FitsScanElements(*w.kernel, *w.proc, fd, header, use_sleds, 1000, AppCpuCosts{},
+                                 [&](int64_t first, std::span<const double> vals) {
+                                   for (size_t i = 0; i < vals.size(); ++i) {
+                                     values[static_cast<size_t>(first) + i] = vals[i];
+                                   }
+                                 })
+                    .ok());
+    return values;
+  };
+  const auto seq = collect(false);
+  const auto via_sleds = collect(true);
+  EXPECT_EQ(seq, via_sleds);
+  const double sum = std::accumulate(seq.begin(), seq.end(), 0.0);
+  EXPECT_NE(sum, 0.0);
+  ASSERT_TRUE(w.kernel->Close(*w.proc, fd).ok());
+}
+
+TEST(FimhistoTest, HistogramIdenticalWithAndWithoutSleds) {
+  World w = MakeWorld();
+  (void)MakeTestImage(w, "/in.fits", 16, 256, 7);
+  FimhistoOptions plain;
+  plain.num_bins = 32;
+  FimhistoOptions sleds = plain;
+  sleds.use_sleds = true;
+  const FimhistoResult a =
+      FimhistoApp::Run(*w.kernel, *w.proc, "/in.fits", "/out_plain.fits", plain).value();
+  const FimhistoResult b =
+      FimhistoApp::Run(*w.kernel, *w.proc, "/in.fits", "/out_sleds.fits", sleds).value();
+  EXPECT_EQ(a.bins, b.bins);
+  EXPECT_DOUBLE_EQ(a.min_value, b.min_value);
+  EXPECT_DOUBLE_EQ(a.max_value, b.max_value);
+  // All pixels are binned.
+  EXPECT_EQ(std::accumulate(a.bins.begin(), a.bins.end(), int64_t{0}), 256 * 256);
+}
+
+TEST(FimhistoTest, OutputContainsCopyPlusHistogram) {
+  World w = MakeWorld();
+  (void)MakeTestImage(w, "/in.fits", -32, 64, 9);
+  const FimhistoOptions options;
+  ASSERT_TRUE(FimhistoApp::Run(*w.kernel, *w.proc, "/in.fits", "/out.fits", options).ok());
+  const int64_t in_size = w.kernel->Stat(*w.proc, "/in.fits").value().size;
+  const int64_t out_size = w.kernel->Stat(*w.proc, "/out.fits").value().size;
+  EXPECT_GT(out_size, in_size);  // appended extension
+  EXPECT_EQ(out_size % kFitsBlock, 0);
+  // The copy is byte-identical: the copied image parses to the same header.
+  auto out_img = FitsReadImage(*w.kernel, *w.proc, "/out.fits");
+  ASSERT_TRUE(out_img.ok());
+  EXPECT_EQ(out_img->header.naxis, (std::vector<int64_t>{64, 64}));
+}
+
+TEST(FimhistoTest, RejectsBadArguments) {
+  World w = MakeWorld();
+  (void)MakeTestImage(w, "/in.fits", -32, 32, 1);
+  FimhistoOptions bad;
+  bad.num_bins = 0;
+  EXPECT_EQ(FimhistoApp::Run(*w.kernel, *w.proc, "/in.fits", "/o.fits", bad).error(),
+            Err::kInval);
+  EXPECT_EQ(
+      FimhistoApp::Run(*w.kernel, *w.proc, "/missing.fits", "/o.fits", FimhistoOptions{}).error(),
+      Err::kNoEnt);
+}
+
+TEST(FimgbinTest, BoxcarAveragesBlocks) {
+  World w = MakeWorld();
+  // Deterministic image: pixel = x + 10*y over 8x8.
+  FitsImage image;
+  image.header.bitpix = -64;
+  image.header.naxis = {8, 8};
+  image.pixels.resize(64);
+  for (int64_t y = 0; y < 8; ++y) {
+    for (int64_t x = 0; x < 8; ++x) {
+      image.pixels[static_cast<size_t>(y * 8 + x)] = static_cast<double>(x + 10 * y);
+    }
+  }
+  ASSERT_TRUE(FitsWriteImage(*w.kernel, *w.proc, "/in.fits", image).ok());
+  FimgbinOptions options;
+  options.boxcar = 2;
+  const FimgbinResult r =
+      FimgbinApp::Run(*w.kernel, *w.proc, "/in.fits", "/out.fits", options).value();
+  EXPECT_EQ(r.out_width, 4);
+  EXPECT_EQ(r.out_height, 4);
+  auto out = FitsReadImage(*w.kernel, *w.proc, "/out.fits").value();
+  ASSERT_EQ(out.pixels.size(), 16u);
+  // Top-left 2x2 block of {0,1,10,11} averages to 5.5.
+  EXPECT_DOUBLE_EQ(out.pixels[0], 5.5);
+  // Block at output (1,1): inputs {2,3,12,13}+... x in {2,3}, y in {2,3}:
+  // values 22,23,32,33 -> mean 27.5.
+  EXPECT_DOUBLE_EQ(out.pixels[5], 27.5);
+}
+
+TEST(FimgbinTest, SledsModeProducesIdenticalOutput) {
+  World w = MakeWorld();
+  (void)MakeTestImage(w, "/in.fits", -32, 128, 21);
+  FimgbinOptions plain;
+  plain.boxcar = 4;
+  FimgbinOptions sleds = plain;
+  sleds.use_sleds = true;
+  const FimgbinResult a =
+      FimgbinApp::Run(*w.kernel, *w.proc, "/in.fits", "/out_a.fits", plain).value();
+  const FimgbinResult b =
+      FimgbinApp::Run(*w.kernel, *w.proc, "/in.fits", "/out_b.fits", sleds).value();
+  EXPECT_EQ(a.out_width, b.out_width);
+  EXPECT_DOUBLE_EQ(a.output_sum, b.output_sum);
+  const auto img_a = FitsReadImage(*w.kernel, *w.proc, "/out_a.fits").value();
+  const auto img_b = FitsReadImage(*w.kernel, *w.proc, "/out_b.fits").value();
+  EXPECT_EQ(img_a.pixels, img_b.pixels);
+}
+
+TEST(FimgbinTest, RejectsIndivisibleDimensions) {
+  World w = MakeWorld();
+  FitsImage image;
+  image.header.bitpix = -32;
+  image.header.naxis = {10, 10};
+  image.pixels.assign(100, 1.0);
+  ASSERT_TRUE(FitsWriteImage(*w.kernel, *w.proc, "/in.fits", image).ok());
+  FimgbinOptions options;
+  options.boxcar = 4;  // 10 % 4 != 0
+  EXPECT_EQ(FimgbinApp::Run(*w.kernel, *w.proc, "/in.fits", "/o.fits", options).error(),
+            Err::kInval);
+  options.boxcar = 0;
+  EXPECT_EQ(FimgbinApp::Run(*w.kernel, *w.proc, "/in.fits", "/o.fits", options).error(),
+            Err::kInval);
+}
+
+TEST(FitsGenTest, GeneratesRequestedSize) {
+  World w = MakeWorld(16384);
+  Rng rng(5);
+  const auto header =
+      GenerateFitsImage(*w.kernel, *w.proc, "/gen.fits", MiB(4), -32, rng).value();
+  const int64_t size = w.kernel->Stat(*w.proc, "/gen.fits").value().size;
+  EXPECT_GT(size, MiB(4) * 9 / 10);
+  EXPECT_LT(size, MiB(4) * 11 / 10);
+  EXPECT_EQ(header.naxis[0] % 4, 0);
+  EXPECT_EQ(header.naxis[0], header.naxis[1]);
+}
+
+}  // namespace
+}  // namespace sled

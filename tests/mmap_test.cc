@@ -1,0 +1,124 @@
+// Tests for the kernel mmap path and the mmap-mode wc ("an mmap-friendly
+// SLEDs library is feasible, which should reduce the CPU penalty", §5.2).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/apps/wc.h"
+#include "src/device/disk_device.h"
+#include "src/fs/extent_file_system.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace sled {
+namespace {
+
+struct World {
+  std::unique_ptr<SimKernel> kernel;
+  Process* proc = nullptr;
+};
+
+World MakeWorld(int64_t cache_pages = 1024) {
+  World w;
+  KernelConfig config;
+  config.cache.capacity_pages = cache_pages;
+  w.kernel = std::make_unique<SimKernel>(config);
+  auto fs = std::make_unique<ExtFs>("ext2", std::make_unique<DiskDevice>(DiskDeviceConfig{}));
+  EXPECT_TRUE(w.kernel->Mount("/", std::move(fs)).ok());
+  w.proc = &w.kernel->CreateProcess("test");
+  return w;
+}
+
+void WriteFile(World& w, const std::string& path, const std::string& data) {
+  const int fd = w.kernel->Create(*w.proc, path).value();
+  ASSERT_TRUE(w.kernel->Write(*w.proc, fd, std::span<const char>(data.data(), data.size())).ok());
+  ASSERT_TRUE(w.kernel->Close(*w.proc, fd).ok());
+}
+
+TEST(MmapTest, ViewMatchesContents) {
+  World w = MakeWorld();
+  const std::string data = "mapped bytes are the same bytes";
+  WriteFile(w, "/f", data);
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  const std::string_view view =
+      w.kernel->MmapRead(*w.proc, fd, 0, static_cast<int64_t>(data.size())).value();
+  EXPECT_EQ(view, data);
+  // Sub-range and EOF clamping.
+  EXPECT_EQ(w.kernel->MmapRead(*w.proc, fd, 7, 5).value(), "bytes");
+  EXPECT_EQ(w.kernel->MmapRead(*w.proc, fd, 1000, 5).value(), "");
+  EXPECT_EQ(w.kernel->MmapRead(*w.proc, fd, 0, 0).value(), "");
+  EXPECT_EQ(w.kernel->MmapRead(*w.proc, fd, -1, 5).error(), Err::kInval);
+  ASSERT_TRUE(w.kernel->Close(*w.proc, fd).ok());
+}
+
+TEST(MmapTest, FaultsLikeReadButNoCopyCharge) {
+  World w = MakeWorld();
+  const std::string data(64 * kPageSize, 'm');
+  WriteFile(w, "/f", data);
+  w.kernel->DropCaches();
+
+  Process& mapper = w.kernel->CreateProcess("mapper");
+  const int fd = w.kernel->Open(mapper, "/f").value();
+  (void)w.kernel->MmapRead(mapper, fd, 0, static_cast<int64_t>(data.size())).value();
+  EXPECT_EQ(mapper.stats().major_faults, 64);  // same demand paging as read()
+  ASSERT_TRUE(w.kernel->Close(mapper, fd).ok());
+
+  w.kernel->DropCaches();
+  Process& reader = w.kernel->CreateProcess("reader");
+  const int rfd = w.kernel->Open(reader, "/f").value();
+  std::vector<char> buf(data.size());
+  (void)w.kernel->Read(reader, rfd, std::span<char>(buf.data(), buf.size())).value();
+  ASSERT_TRUE(w.kernel->Close(reader, rfd).ok());
+  EXPECT_EQ(reader.stats().major_faults, 64);
+  // The mmap path skips the per-byte copy: notably less CPU time.
+  EXPECT_LT(mapper.stats().cpu_time, reader.stats().cpu_time);
+}
+
+TEST(MmapTest, WarmMappingIsAlmostFree) {
+  World w = MakeWorld();
+  const std::string data(16 * kPageSize, 'm');
+  WriteFile(w, "/f", data);
+  Process& p = w.kernel->CreateProcess("warm");
+  const int fd = w.kernel->Open(p, "/f").value();
+  (void)w.kernel->MmapRead(p, fd, 0, static_cast<int64_t>(data.size())).value();
+  const Duration first = p.stats().elapsed();
+  (void)w.kernel->MmapRead(p, fd, 0, static_cast<int64_t>(data.size())).value();
+  const Duration second = p.stats().elapsed() - first;
+  // Warm touch: per-page TLB cost plus one syscall; far under a millisecond.
+  EXPECT_LT(second.ToMicros(), 100.0);
+  ASSERT_TRUE(w.kernel->Close(p, fd).ok());
+}
+
+TEST(MmapWcTest, SameCountsLowerCpu) {
+  World w = MakeWorld(/*cache_pages=*/4096);
+  std::string data;
+  Rng rng(3);
+  while (data.size() < static_cast<size_t>(MiB(4))) {
+    for (int i = 0; i < 8; ++i) {
+      data.push_back(static_cast<char>('a' + rng.Uniform(0, 25)));
+    }
+    data.push_back(rng.Bernoulli(0.3) ? '\n' : ' ');
+  }
+  WriteFile(w, "/f", data);
+  w.kernel->DropCaches();
+
+  auto run = [&](bool use_mmap, bool use_sleds) {
+    Process& p = w.kernel->CreateProcess("wc");
+    WcOptions options;
+    options.use_mmap = use_mmap;
+    options.use_sleds = use_sleds;
+    auto r = WcApp::Run(*w.kernel, p, "/f", options);
+    EXPECT_TRUE(r.ok());
+    return std::make_pair(r.value(), p.stats().cpu_time);
+  };
+  const auto [read_counts, read_cpu] = run(false, false);
+  const auto [mmap_counts, mmap_cpu] = run(true, false);
+  const auto [mmap_sleds_counts, mmap_sleds_cpu] = run(true, true);
+  EXPECT_EQ(read_counts, mmap_counts);
+  EXPECT_EQ(read_counts, mmap_sleds_counts);
+  EXPECT_LT(mmap_cpu, read_cpu);
+  EXPECT_LT(mmap_sleds_cpu, read_cpu);
+}
+
+}  // namespace
+}  // namespace sled

@@ -1,0 +1,417 @@
+// Tests for the SLEDs pick library, the delivery-time estimator, and the
+// paper-style C API.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/device/disk_device.h"
+#include "src/fs/extent_file_system.h"
+#include "src/kernel/sim_kernel.h"
+#include "src/sleds/c_api.h"
+#include "src/sleds/delivery.h"
+#include "src/sleds/picker.h"
+
+namespace sled {
+namespace {
+
+struct World {
+  std::unique_ptr<SimKernel> kernel;
+  Process* proc = nullptr;
+};
+
+World MakeWorld(int64_t cache_pages) {
+  World w;
+  KernelConfig config;
+  config.cache.capacity_pages = cache_pages;
+  w.kernel = std::make_unique<SimKernel>(config);
+  auto fs = std::make_unique<ExtFs>("ext2", std::make_unique<DiskDevice>(DiskDeviceConfig{}));
+  EXPECT_TRUE(w.kernel->Mount("/", std::move(fs)).ok());
+  w.proc = &w.kernel->CreateProcess("test");
+  return w;
+}
+
+void WriteFile(SimKernel& k, Process& p, const std::string& path, const std::string& data) {
+  const int fd = k.Create(p, path).value();
+  ASSERT_TRUE(k.Write(p, fd, std::span<const char>(data.data(), data.size())).ok());
+  ASSERT_TRUE(k.Close(p, fd).ok());
+}
+
+// Touch pages [first, last) of an open file so they are cached.
+void TouchPages(SimKernel& k, Process& p, int fd, int64_t first, int64_t last) {
+  char b;
+  for (int64_t page = first; page < last; ++page) {
+    ASSERT_TRUE(k.Lseek(p, fd, page * kPageSize, Whence::kSet).ok());
+    ASSERT_TRUE(k.Read(p, fd, std::span<char>(&b, 1)).ok());
+  }
+}
+
+TEST(PickerTest, ColdFileDegeneratesToLinearScan) {
+  World w = MakeWorld(64);
+  const int64_t size = 32 * kPageSize;
+  WriteFile(*w.kernel, *w.proc, "/f", std::string(size, 'a'));
+  w.kernel->DropCaches();
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  auto picker = SledsPicker::Create(*w.kernel, *w.proc, fd,
+                                    PickerOptions{.preferred_chunk_bytes = 4 * kPageSize})
+                    .value();
+  // "In the simple case of a disk-based file system with a cold cache, this
+  // algorithm will degenerate to linear access of the file."
+  int64_t expected = 0;
+  while (true) {
+    auto pick = picker->NextRead().value();
+    if (pick.length == 0) {
+      break;
+    }
+    EXPECT_EQ(pick.offset, expected);
+    EXPECT_LE(pick.length, 4 * kPageSize);
+    expected = pick.offset + pick.length;
+  }
+  EXPECT_EQ(expected, size);
+}
+
+TEST(PickerTest, CachedTailComesFirst) {
+  World w = MakeWorld(1024);
+  const int64_t pages = 32;
+  WriteFile(*w.kernel, *w.proc, "/f", std::string(pages * kPageSize, 'a'));
+  w.kernel->DropCaches();
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  TouchPages(*w.kernel, *w.proc, fd, 24, 32);  // cache the last 8 pages
+
+  auto picker = SledsPicker::Create(*w.kernel, *w.proc, fd,
+                                    PickerOptions{.preferred_chunk_bytes = 8 * kPageSize})
+                    .value();
+  auto first = picker->NextRead().value();
+  EXPECT_EQ(first.offset, 24 * kPageSize);  // the cached tail
+  EXPECT_EQ(first.length, 8 * kPageSize);
+  auto second = picker->NextRead().value();
+  EXPECT_EQ(second.offset, 0);  // then the cold head, in offset order
+}
+
+TEST(PickerTest, EveryByteExactlyOnce) {
+  World w = MakeWorld(64);
+  const int64_t size = 48 * kPageSize + 777;
+  WriteFile(*w.kernel, *w.proc, "/f", std::string(size, 'a'));
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  TouchPages(*w.kernel, *w.proc, fd, 10, 20);
+
+  auto picker = SledsPicker::Create(*w.kernel, *w.proc, fd,
+                                    PickerOptions{.preferred_chunk_bytes = 3 * kPageSize + 17})
+                    .value();
+  std::vector<char> seen(static_cast<size_t>(size), 0);
+  while (true) {
+    auto pick = picker->NextRead().value();
+    if (pick.length == 0) {
+      break;
+    }
+    for (int64_t i = pick.offset; i < pick.offset + pick.length; ++i) {
+      ASSERT_EQ(seen[static_cast<size_t>(i)], 0) << "byte offered twice at " << i;
+      seen[static_cast<size_t>(i)] = 1;
+    }
+  }
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), int64_t{0}), size);
+  EXPECT_TRUE(picker->done());
+}
+
+TEST(PickerTest, LatencyMonotoneOverPlan) {
+  World w = MakeWorld(1024);
+  WriteFile(*w.kernel, *w.proc, "/f", std::string(64 * kPageSize, 'a'));
+  w.kernel->DropCaches();
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  TouchPages(*w.kernel, *w.proc, fd, 0, 4);
+  TouchPages(*w.kernel, *w.proc, fd, 40, 50);
+  auto picker = SledsPicker::Create(*w.kernel, *w.proc, fd, PickerOptions{}).value();
+  double last_latency = -1.0;
+  for (const Sled& s : picker->plan()) {
+    EXPECT_GE(s.latency, last_latency);
+    last_latency = s.latency;
+  }
+}
+
+TEST(PickerTest, RecordModeAlignsSledEdgesToSeparators) {
+  World w = MakeWorld(1024);
+  // 8 pages of text with a line every 100 bytes.
+  std::string data;
+  while (data.size() < 8 * kPageSize) {
+    data += std::string(99, 'x');
+    data += '\n';
+  }
+  data.resize(8 * kPageSize);
+  WriteFile(*w.kernel, *w.proc, "/f", data);
+  w.kernel->DropCaches();
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  TouchPages(*w.kernel, *w.proc, fd, 2, 6);  // cache the middle
+
+  PickerOptions options;
+  options.record_oriented = true;
+  options.record_separator = '\n';
+  auto picker = SledsPicker::Create(*w.kernel, *w.proc, fd, options).value();
+
+  // The low-latency (memory) segment's edges must fall just after a '\n'.
+  bool found_memory = false;
+  for (const Sled& s : picker->plan()) {
+    if (s.level == kMemoryLevel) {
+      found_memory = true;
+      EXPECT_EQ(data[static_cast<size_t>(s.offset) - 1], '\n');
+      EXPECT_EQ(data[static_cast<size_t>(s.offset + s.length) - 1], '\n');
+      // Pulled-in edges: strictly inside the original page range.
+      EXPECT_GE(s.offset, 2 * kPageSize);
+      EXPECT_LE(s.offset + s.length, 6 * kPageSize);
+    }
+  }
+  EXPECT_TRUE(found_memory);
+
+  // Exactly-once still holds after adjustment.
+  int64_t total = 0;
+  while (true) {
+    auto pick = picker->NextRead().value();
+    if (pick.length == 0) {
+      break;
+    }
+    total += pick.length;
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(data.size()));
+}
+
+TEST(PickerTest, RefreshNoticesNewlyCachedData) {
+  World w = MakeWorld(1024);
+  WriteFile(*w.kernel, *w.proc, "/f", std::string(64 * kPageSize, 'a'));
+  w.kernel->DropCaches();
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+
+  PickerOptions options;
+  options.preferred_chunk_bytes = kPageSize;
+  options.refresh_every_n_picks = 4;
+  auto picker = SledsPicker::Create(*w.kernel, *w.proc, fd, options).value();
+  // Consume a few picks, then cache the tail behind the picker's back.
+  for (int i = 0; i < 4; ++i) {
+    (void)picker->NextRead().value();
+  }
+  TouchPages(*w.kernel, *w.proc, fd, 60, 64);
+  // The refresh on the next pick should reorder: the newly cached tail
+  // appears before the still-cold middle.
+  auto pick = picker->NextRead().value();
+  EXPECT_EQ(pick.offset, 60 * kPageSize);
+  // Exactly-once coverage of the remainder still holds.
+  int64_t total = pick.length;
+  while (true) {
+    auto next = picker->NextRead().value();
+    if (next.length == 0) {
+      break;
+    }
+    total += next.length;
+  }
+  EXPECT_EQ(total, 60 * kPageSize);  // everything except the 4 pages consumed
+}
+
+TEST(DeliveryTest, TotalMatchesSumOfSleds) {
+  SledVector sleds;
+  sleds.push_back({0, 1000000, 0.018, 9.0e6, 1});
+  sleds.push_back({1000000, 500000, 175e-9, 48.0e6, 0});
+  const Duration linear = TotalDeliveryTime(sleds, AttackPlan::kLinear);
+  const Duration best = TotalDeliveryTime(sleds, AttackPlan::kBest);
+  const double expected =
+      0.018 + 1000000 / 9.0e6 + 175e-9 + 500000 / 48.0e6;
+  EXPECT_NEAR(linear.ToSeconds(), expected, 1e-6);
+  EXPECT_NEAR(best.ToSeconds(), expected, 1e-6);
+}
+
+TEST(DeliveryTest, WarmFileDeliversFasterThanCold) {
+  World w = MakeWorld(2048);
+  WriteFile(*w.kernel, *w.proc, "/f", std::string(64 * kPageSize, 'a'));
+  w.kernel->DropCaches();
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  const Duration cold = TotalDeliveryTime(*w.kernel, *w.proc, fd, AttackPlan::kBest).value();
+  TouchPages(*w.kernel, *w.proc, fd, 0, 64);
+  const Duration warm = TotalDeliveryTime(*w.kernel, *w.proc, fd, AttackPlan::kBest).value();
+  EXPECT_LT(warm.ToSeconds() * 5, cold.ToSeconds());
+}
+
+TEST(DeliveryTest, FormatSledReportListsLevels) {
+  World w = MakeWorld(64);
+  WriteFile(*w.kernel, *w.proc, "/f", std::string(4 * kPageSize, 'a'));
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  SledVector sleds = w.kernel->IoctlSledsGet(*w.proc, fd).value();
+  const std::string report = FormatSledReport(*w.kernel, sleds);
+  EXPECT_NE(report.find("memory"), std::string::npos);
+  EXPECT_NE(report.find("estimated total delivery time"), std::string::npos);
+}
+
+TEST(CApiTest, PaperWorkflow) {
+  World w = MakeWorld(256);
+  const int64_t size = 16 * kPageSize;
+  WriteFile(*w.kernel, *w.proc, "/f", std::string(size, 'a'));
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  SledsContext ctx{w.kernel.get(), w.proc};
+
+  ASSERT_EQ(sleds_pick_init(ctx, fd, 8192), 8192);
+  long offset = 0;
+  long nbytes = 0;
+  int64_t total = 0;
+  while (sleds_pick_next_read(ctx, fd, &offset, &nbytes) == 0 && nbytes > 0) {
+    ASSERT_LE(nbytes, 8192);
+    total += nbytes;
+  }
+  EXPECT_EQ(total, size);
+  EXPECT_EQ(sleds_pick_finish(ctx, fd), 0);
+  EXPECT_EQ(sleds_pick_finish(ctx, fd), -1);  // already finished
+
+  const double t = sleds_total_delivery_time(ctx, fd, SLEDS_BEST);
+  EXPECT_GT(t, 0.0);
+  EXPECT_GE(sleds_total_delivery_time(ctx, fd, SLEDS_LINEAR), t * 0.99);
+}
+
+TEST(CApiTest, ErrorsReturnMinusOne) {
+  World w = MakeWorld(64);
+  SledsContext ctx{w.kernel.get(), w.proc};
+  long a = 0;
+  long b = 0;
+  EXPECT_EQ(sleds_pick_init(ctx, 42, 8192), -1);             // bad fd
+  EXPECT_EQ(sleds_pick_init(ctx, 3, 0), -1);                 // bad buffer size
+  EXPECT_EQ(sleds_pick_next_read(ctx, 3, &a, &b), -1);       // not initialized
+  EXPECT_EQ(sleds_pick_next_read(ctx, 3, nullptr, &b), -1);  // null out-params
+  EXPECT_LT(sleds_total_delivery_time(ctx, 42, SLEDS_BEST), 0.0);
+  EXPECT_EQ(sleds_pick_init(SledsContext{}, 3, 8192), -1);   // null context
+}
+
+// Property sweep: exactly-once coverage holds for arbitrary chunk sizes,
+// cache geometries, and cached-region patterns.
+class PickerPropertyTest : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, uint64_t>> {
+};
+
+TEST_P(PickerPropertyTest, ExactlyOnceUnderRandomCacheState) {
+  const auto [chunk, file_pages, seed] = GetParam();
+  World w = MakeWorld(file_pages);  // cache can hold the whole file
+  Rng rng(seed);
+  const int64_t size = file_pages * kPageSize - rng.Uniform(0, kPageSize - 1);
+  WriteFile(*w.kernel, *w.proc, "/f", std::string(size, 'a'));
+  w.kernel->DropCaches();
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  // Cache a few random page ranges.
+  for (int r = 0; r < 3; ++r) {
+    const int64_t first = rng.Uniform(0, file_pages - 1);
+    const int64_t last = std::min<int64_t>(file_pages, first + rng.Uniform(1, 8));
+    TouchPages(*w.kernel, *w.proc, fd, first, last);
+  }
+  auto picker = SledsPicker::Create(*w.kernel, *w.proc, fd,
+                                    PickerOptions{.preferred_chunk_bytes = chunk})
+                    .value();
+  std::vector<char> seen(static_cast<size_t>(size), 0);
+  while (true) {
+    auto pick = picker->NextRead().value();
+    if (pick.length == 0) {
+      break;
+    }
+    ASSERT_LE(pick.length, chunk);
+    for (int64_t i = pick.offset; i < pick.offset + pick.length; ++i) {
+      ASSERT_EQ(seen[static_cast<size_t>(i)], 0);
+      seen[static_cast<size_t>(i)] = 1;
+    }
+  }
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), int64_t{0}), size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PickerPropertyTest,
+    ::testing::Combine(::testing::Values(kPageSize / 2, kPageSize, 5 * kPageSize + 1,
+                                         16 * kPageSize),
+                       ::testing::Values(8, 33, 64), ::testing::Values(3u, 1007u)));
+
+}  // namespace
+}  // namespace sled
+
+namespace sled {
+namespace {
+
+// Property sweep: record-oriented picking preserves exactly-once coverage
+// and never splits a line across a low/high-latency seam, for random line
+// lengths and cache states.
+class RecordModePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecordModePropertyTest, ExactlyOnceAndSeamsOnSeparators) {
+  const uint64_t seed = GetParam();
+  World w = MakeWorld(256);
+  Rng rng(seed);
+  std::string data;
+  const int64_t target = 48 * kPageSize;
+  while (static_cast<int64_t>(data.size()) < target) {
+    const int64_t len = rng.Uniform(1, 200);
+    for (int64_t i = 0; i < len; ++i) {
+      data.push_back(static_cast<char>('a' + rng.Uniform(0, 25)));
+    }
+    data.push_back('\n');
+  }
+  WriteFile(*w.kernel, *w.proc, "/f", data);
+  w.kernel->DropCaches();
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  for (int r = 0; r < 3; ++r) {
+    const int64_t first = rng.Uniform(0, 40);
+    TouchPages(*w.kernel, *w.proc, fd, first, first + rng.Uniform(2, 8));
+  }
+  PickerOptions options;
+  options.record_oriented = true;
+  options.preferred_chunk_bytes = 3 * kPageSize;
+  auto picker = SledsPicker::Create(*w.kernel, *w.proc, fd, options).value();
+
+  // Seams between different-latency segments fall just after '\n' (or at
+  // the file edges).
+  const SledVector& plan = picker->plan();
+  std::vector<Sled> by_offset = plan;
+  std::sort(by_offset.begin(), by_offset.end(),
+            [](const Sled& a, const Sled& b) { return a.offset < b.offset; });
+  for (size_t i = 0; i + 1 < by_offset.size(); ++i) {
+    if (by_offset[i].latency != by_offset[i + 1].latency) {
+      const int64_t seam = by_offset[i].offset + by_offset[i].length;
+      ASSERT_GT(seam, 0);
+      EXPECT_EQ(data[static_cast<size_t>(seam) - 1], '\n') << "seam " << seam;
+    }
+  }
+
+  // Exactly-once coverage.
+  std::vector<char> seen(data.size(), 0);
+  while (true) {
+    auto pick = picker->NextRead().value();
+    if (pick.length == 0) {
+      break;
+    }
+    for (int64_t i = pick.offset; i < pick.offset + pick.length; ++i) {
+      ASSERT_EQ(seen[static_cast<size_t>(i)], 0);
+      seen[static_cast<size_t>(i)] = 1;
+    }
+  }
+  for (char c : seen) {
+    ASSERT_EQ(c, 1);
+  }
+  ASSERT_TRUE(w.kernel->Close(*w.proc, fd).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordModePropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+TEST(DeliveryTest, LinearAndBestAgreeOnAnyVector) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    SledVector sleds;
+    int64_t offset = 0;
+    const int n = static_cast<int>(rng.Uniform(1, 12));
+    for (int i = 0; i < n; ++i) {
+      Sled s;
+      s.offset = offset;
+      s.length = rng.Uniform(1, 1 << 20);
+      s.latency = rng.UniformDouble() * 0.1;
+      s.bandwidth = 1e6 + rng.UniformDouble() * 5e7;
+      s.level = static_cast<int>(rng.Uniform(0, 3));
+      offset += s.length;
+      sleds.push_back(s);
+    }
+    // Full-file delivery is order-independent: both plans sum every SLED.
+    EXPECT_EQ(TotalDeliveryTime(sleds, AttackPlan::kLinear).nanos(),
+              TotalDeliveryTime(sleds, AttackPlan::kBest).nanos());
+  }
+}
+
+}  // namespace
+}  // namespace sled

@@ -1,0 +1,151 @@
+// Tests for RemoteFs: SLEDs across the wire (client / server-cache /
+// server-disk levels).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/fs/remote_fs.h"
+#include "src/kernel/sim_kernel.h"
+#include "src/sleds/picker.h"
+
+namespace sled {
+namespace {
+
+struct World {
+  std::unique_ptr<SimKernel> kernel;
+  Process* proc = nullptr;
+  RemoteFs* fs = nullptr;
+};
+
+World MakeWorld(int64_t client_cache_pages = 1024, int64_t server_cache_pages = 2048) {
+  World w;
+  KernelConfig config;
+  config.cache.capacity_pages = client_cache_pages;
+  w.kernel = std::make_unique<SimKernel>(config);
+  RemoteFsConfig rc;
+  rc.server_cache_pages = server_cache_pages;
+  auto fs = std::make_unique<RemoteFs>("nfs2", rc);
+  w.fs = fs.get();
+  EXPECT_TRUE(w.kernel->Mount("/", std::move(fs)).ok());
+  w.proc = &w.kernel->CreateProcess("test");
+  return w;
+}
+
+void WriteFile(World& w, const std::string& path, int64_t size) {
+  const int fd = w.kernel->Create(*w.proc, path).value();
+  const std::string data(static_cast<size_t>(size), 'r');
+  ASSERT_TRUE(w.kernel->Write(*w.proc, fd, std::span<const char>(data.data(), data.size())).ok());
+  ASSERT_TRUE(w.kernel->Close(*w.proc, fd).ok());
+}
+
+TEST(RemoteFsTest, ExposesTwoRemoteLevels) {
+  World w = MakeWorld();
+  const auto levels = w.fs->Levels();
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0].name, "nfs-cache");
+  EXPECT_EQ(levels[1].name, "nfs-disk");
+  EXPECT_LT(levels[0].nominal.latency, levels[1].nominal.latency);
+  EXPECT_GE(levels[0].nominal.bandwidth_bps, levels[1].nominal.bandwidth_bps);
+}
+
+TEST(RemoteFsTest, ServerCacheMakesRereadsCheaper) {
+  World w = MakeWorld();
+  WriteFile(w, "/f", 64 * kPageSize);
+  // Flush everything: server cache keeps pages written through it, so drop
+  // the *client* cache only and read once to re-warm the server.
+  w.kernel->DropCaches();
+  const InodeNum ino = w.kernel->vfs().Resolve("/f").value().ino;
+
+  // First server read may hit server cache (written through); force a true
+  // cold pass by overflowing the server cache with another file.
+  WriteFile(w, "/filler", 3000 * kPageSize);
+  w.kernel->DropCaches();
+  const Duration cold = w.fs->ReadPagesFromStore(ino, 0, 64).value();
+  const Duration warm = w.fs->ReadPagesFromStore(ino, 0, 64).value();
+  EXPECT_LT(warm, cold);  // second pass serves from server cache: wire only
+  // Warm pass ~= RPC + 256 KiB at wire speed.
+  EXPECT_NEAR(warm.ToSeconds(), 0.0012 + 64.0 * kPageSize / 10.0e6, 0.01);
+}
+
+TEST(RemoteFsTest, LevelReflectsServerCacheState) {
+  World w = MakeWorld(/*client_cache_pages=*/1024, /*server_cache_pages=*/32);
+  WriteFile(w, "/f", 64 * kPageSize);
+  w.kernel->DropCaches();
+  const InodeNum ino = w.kernel->vfs().Resolve("/f").value().ino;
+  // After writing 64 pages through a 32-page server cache, only the tail is
+  // server-cached.
+  EXPECT_EQ(w.fs->LevelOf(ino, 0), RemoteFs::kLevelServerDisk);
+  EXPECT_EQ(w.fs->LevelOf(ino, 63), RemoteFs::kLevelServerCache);
+}
+
+TEST(RemoteFsTest, SledsSeeThreeTiers) {
+  World w = MakeWorld(/*client_cache_pages=*/1024, /*server_cache_pages=*/32);
+  WriteFile(w, "/f", 64 * kPageSize);
+  w.kernel->DropCaches();
+  // Client-cache pages 0..7 (read them back), server holds tail 32..63.
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  char b;
+  for (int64_t page = 0; page < 8; ++page) {
+    ASSERT_TRUE(w.kernel->Lseek(*w.proc, fd, page * kPageSize, Whence::kSet).ok());
+    ASSERT_TRUE(w.kernel->Read(*w.proc, fd, std::span<char>(&b, 1)).ok());
+  }
+  SledVector sleds = w.kernel->IoctlSledsGet(*w.proc, fd).value();
+  // Expect at least three distinct latency classes in the vector.
+  std::set<int> levels;
+  for (const Sled& s : sleds) {
+    levels.insert(s.level);
+  }
+  EXPECT_GE(levels.size(), 3u);
+  // And the picker orders them client-memory, server-cache, server-disk.
+  auto picker = SledsPicker::Create(*w.kernel, *w.proc, fd, PickerOptions{}).value();
+  double last = -1.0;
+  for (const Sled& s : picker->plan()) {
+    EXPECT_GE(s.latency, last);
+    last = s.latency;
+  }
+  ASSERT_TRUE(w.kernel->Close(*w.proc, fd).ok());
+}
+
+TEST(RemoteFsTest, WritesGoThroughServerCache) {
+  World w = MakeWorld();
+  WriteFile(w, "/f", 8 * kPageSize);
+  const InodeNum ino = w.kernel->vfs().Resolve("/f").value().ino;
+  // Dirty pages sit in the *client* cache until flushed; fsync pushes them
+  // over the wire, after which the server cache holds them.
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  ASSERT_TRUE(w.kernel->Fsync(*w.proc, fd).ok());
+  ASSERT_TRUE(w.kernel->Close(*w.proc, fd).ok());
+  EXPECT_EQ(w.fs->LevelOf(ino, 0), RemoteFs::kLevelServerCache);
+  const int64_t disk_writes_before = w.fs->server().disk().stats().writes;
+  // Overflow the server cache: dirty pages must reach the server disk.
+  WriteFile(w, "/big", 3000 * kPageSize);
+  w.kernel->DropCaches();
+  EXPECT_GT(w.fs->server().disk().stats().writes, disk_writes_before);
+}
+
+TEST(RemoteFsTest, ContentsRoundTripThroughServer) {
+  World w = MakeWorld();
+  const std::string payload = "remote data travels well";
+  const int fd = w.kernel->Create(*w.proc, "/f").value();
+  ASSERT_TRUE(
+      w.kernel->Write(*w.proc, fd, std::span<const char>(payload.data(), payload.size())).ok());
+  ASSERT_TRUE(w.kernel->Close(*w.proc, fd).ok());
+  w.kernel->DropCaches();
+  const int rfd = w.kernel->Open(*w.proc, "/f").value();
+  std::string out(payload.size(), '\0');
+  EXPECT_EQ(w.kernel->Read(*w.proc, rfd, std::span<char>(out.data(), out.size())).value(),
+            static_cast<int64_t>(payload.size()));
+  EXPECT_EQ(out, payload);
+  ASSERT_TRUE(w.kernel->Close(*w.proc, rfd).ok());
+}
+
+TEST(RemoteFsTest, UnlinkFreesServerState) {
+  World w = MakeWorld();
+  WriteFile(w, "/f", 8 * kPageSize);
+  ASSERT_TRUE(w.kernel->Unlink(*w.proc, "/f").ok());
+  EXPECT_EQ(w.kernel->Stat(*w.proc, "/f").error(), Err::kNoEnt);
+}
+
+}  // namespace
+}  // namespace sled
