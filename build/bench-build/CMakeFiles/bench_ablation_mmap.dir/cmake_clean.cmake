@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mmap"
+  "../bench/bench_ablation_mmap.pdb"
+  "CMakeFiles/bench_ablation_mmap.dir/bench_ablation_mmap.cc.o"
+  "CMakeFiles/bench_ablation_mmap.dir/bench_ablation_mmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

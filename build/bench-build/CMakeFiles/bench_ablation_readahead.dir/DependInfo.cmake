@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_readahead.cc" "bench-build/CMakeFiles/bench_ablation_readahead.dir/bench_ablation_readahead.cc.o" "gcc" "bench-build/CMakeFiles/bench_ablation_readahead.dir/bench_ablation_readahead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/sled_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/sled_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sled_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fits/CMakeFiles/sled_fits.dir/DependInfo.cmake"
+  "/root/repo/build/src/sleds/CMakeFiles/sled_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sled_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sled_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sled_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sled_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sled_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_record_mode"
+  "../bench/bench_ablation_record_mode.pdb"
+  "CMakeFiles/bench_ablation_record_mode.dir/bench_ablation_record_mode.cc.o"
+  "CMakeFiles/bench_ablation_record_mode.dir/bench_ablation_record_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_record_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_estimate_accuracy"
+  "../bench/bench_ext_estimate_accuracy.pdb"
+  "CMakeFiles/bench_ext_estimate_accuracy.dir/bench_ext_estimate_accuracy.cc.o"
+  "CMakeFiles/bench_ext_estimate_accuracy.dir/bench_ext_estimate_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_estimate_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_remote_sleds"
+  "../bench/bench_ext_remote_sleds.pdb"
+  "CMakeFiles/bench_ext_remote_sleds.dir/bench_ext_remote_sleds.cc.o"
+  "CMakeFiles/bench_ext_remote_sleds.dir/bench_ext_remote_sleds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_remote_sleds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext_remote_sleds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_tape_schedule"
+  "../bench/bench_ext_tape_schedule.pdb"
+  "CMakeFiles/bench_ext_tape_schedule.dir/bench_ext_tape_schedule.cc.o"
+  "CMakeFiles/bench_ext_tape_schedule.dir/bench_ext_tape_schedule.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tape_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

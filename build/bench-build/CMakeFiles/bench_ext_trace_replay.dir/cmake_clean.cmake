@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_trace_replay"
+  "../bench/bench_ext_trace_replay.pdb"
+  "CMakeFiles/bench_ext_trace_replay.dir/bench_ext_trace_replay.cc.o"
+  "CMakeFiles/bench_ext_trace_replay.dir/bench_ext_trace_replay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_lru_passes"
+  "../bench/bench_fig03_lru_passes.pdb"
+  "CMakeFiles/bench_fig03_lru_passes.dir/bench_fig03_lru_passes.cc.o"
+  "CMakeFiles/bench_fig03_lru_passes.dir/bench_fig03_lru_passes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_lru_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

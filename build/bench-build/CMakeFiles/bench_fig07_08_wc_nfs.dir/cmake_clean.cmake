@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_08_wc_nfs"
+  "../bench/bench_fig07_08_wc_nfs.pdb"
+  "CMakeFiles/bench_fig07_08_wc_nfs.dir/bench_fig07_08_wc_nfs.cc.o"
+  "CMakeFiles/bench_fig07_08_wc_nfs.dir/bench_fig07_08_wc_nfs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_08_wc_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

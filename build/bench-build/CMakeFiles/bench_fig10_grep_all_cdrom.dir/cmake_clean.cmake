@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_grep_all_cdrom"
+  "../bench/bench_fig10_grep_all_cdrom.pdb"
+  "CMakeFiles/bench_fig10_grep_all_cdrom.dir/bench_fig10_grep_all_cdrom.cc.o"
+  "CMakeFiles/bench_fig10_grep_all_cdrom.dir/bench_fig10_grep_all_cdrom.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_grep_all_cdrom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

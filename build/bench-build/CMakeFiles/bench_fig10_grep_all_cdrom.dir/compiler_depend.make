@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig10_grep_all_cdrom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_grep_cdf_nfs"
+  "../bench/bench_fig13_grep_cdf_nfs.pdb"
+  "CMakeFiles/bench_fig13_grep_cdf_nfs.dir/bench_fig13_grep_cdf_nfs.cc.o"
+  "CMakeFiles/bench_fig13_grep_cdf_nfs.dir/bench_fig13_grep_cdf_nfs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_grep_cdf_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_fimhisto"
+  "../bench/bench_fig14_fimhisto.pdb"
+  "CMakeFiles/bench_fig14_fimhisto.dir/bench_fig14_fimhisto.cc.o"
+  "CMakeFiles/bench_fig14_fimhisto.dir/bench_fig14_fimhisto.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fimhisto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

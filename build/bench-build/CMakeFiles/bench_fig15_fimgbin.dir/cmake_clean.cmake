@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_fimgbin"
+  "../bench/bench_fig15_fimgbin.pdb"
+  "CMakeFiles/bench_fig15_fimgbin.dir/bench_fig15_fimgbin.cc.o"
+  "CMakeFiles/bench_fig15_fimgbin.dir/bench_fig15_fimgbin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_fimgbin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

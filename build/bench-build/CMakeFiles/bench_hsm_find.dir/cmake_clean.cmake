@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hsm_find"
+  "../bench/bench_hsm_find.pdb"
+  "CMakeFiles/bench_hsm_find.dir/bench_hsm_find.cc.o"
+  "CMakeFiles/bench_hsm_find.dir/bench_hsm_find.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hsm_find.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

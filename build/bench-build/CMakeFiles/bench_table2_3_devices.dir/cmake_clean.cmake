@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_3_devices"
+  "../bench/bench_table2_3_devices.pdb"
+  "CMakeFiles/bench_table2_3_devices.dir/bench_table2_3_devices.cc.o"
+  "CMakeFiles/bench_table2_3_devices.dir/bench_table2_3_devices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_3_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_loc"
+  "../bench/bench_table4_loc.pdb"
+  "CMakeFiles/bench_table4_loc.dir/bench_table4_loc.cc.o"
+  "CMakeFiles/bench_table4_loc.dir/bench_table4_loc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

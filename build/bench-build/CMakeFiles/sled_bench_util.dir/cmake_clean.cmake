@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sled_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/sled_bench_util.dir/bench_util.cc.o.d"
+  "libsled_bench_util.a"
+  "libsled_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sled_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsled_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_pipeline.dir/astro_pipeline.cc.o"
+  "CMakeFiles/astro_pipeline.dir/astro_pipeline.cc.o.d"
+  "astro_pipeline"
+  "astro_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsm_explorer.dir/hsm_explorer.cc.o"
+  "CMakeFiles/hsm_explorer.dir/hsm_explorer.cc.o.d"
+  "hsm_explorer"
+  "hsm_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsm_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hsm_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_aware_search.dir/latency_aware_search.cc.o"
+  "CMakeFiles/latency_aware_search.dir/latency_aware_search.cc.o.d"
+  "latency_aware_search"
+  "latency_aware_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_aware_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

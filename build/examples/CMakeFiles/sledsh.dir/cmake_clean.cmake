@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledsh.dir/sledsh.cc.o"
+  "CMakeFiles/sledsh.dir/sledsh.cc.o.d"
+  "sledsh"
+  "sledsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/file_info.cc" "src/apps/CMakeFiles/sled_apps.dir/file_info.cc.o" "gcc" "src/apps/CMakeFiles/sled_apps.dir/file_info.cc.o.d"
+  "/root/repo/src/apps/fimgbin.cc" "src/apps/CMakeFiles/sled_apps.dir/fimgbin.cc.o" "gcc" "src/apps/CMakeFiles/sled_apps.dir/fimgbin.cc.o.d"
+  "/root/repo/src/apps/fimhisto.cc" "src/apps/CMakeFiles/sled_apps.dir/fimhisto.cc.o" "gcc" "src/apps/CMakeFiles/sled_apps.dir/fimhisto.cc.o.d"
+  "/root/repo/src/apps/find.cc" "src/apps/CMakeFiles/sled_apps.dir/find.cc.o" "gcc" "src/apps/CMakeFiles/sled_apps.dir/find.cc.o.d"
+  "/root/repo/src/apps/fits_scan.cc" "src/apps/CMakeFiles/sled_apps.dir/fits_scan.cc.o" "gcc" "src/apps/CMakeFiles/sled_apps.dir/fits_scan.cc.o.d"
+  "/root/repo/src/apps/grep.cc" "src/apps/CMakeFiles/sled_apps.dir/grep.cc.o" "gcc" "src/apps/CMakeFiles/sled_apps.dir/grep.cc.o.d"
+  "/root/repo/src/apps/wc.cc" "src/apps/CMakeFiles/sled_apps.dir/wc.cc.o" "gcc" "src/apps/CMakeFiles/sled_apps.dir/wc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sleds/CMakeFiles/sled_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fits/CMakeFiles/sled_fits.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sled_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sled_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sled_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sled_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sled_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

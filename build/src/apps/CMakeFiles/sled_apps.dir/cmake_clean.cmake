@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sled_apps.dir/file_info.cc.o"
+  "CMakeFiles/sled_apps.dir/file_info.cc.o.d"
+  "CMakeFiles/sled_apps.dir/fimgbin.cc.o"
+  "CMakeFiles/sled_apps.dir/fimgbin.cc.o.d"
+  "CMakeFiles/sled_apps.dir/fimhisto.cc.o"
+  "CMakeFiles/sled_apps.dir/fimhisto.cc.o.d"
+  "CMakeFiles/sled_apps.dir/find.cc.o"
+  "CMakeFiles/sled_apps.dir/find.cc.o.d"
+  "CMakeFiles/sled_apps.dir/fits_scan.cc.o"
+  "CMakeFiles/sled_apps.dir/fits_scan.cc.o.d"
+  "CMakeFiles/sled_apps.dir/grep.cc.o"
+  "CMakeFiles/sled_apps.dir/grep.cc.o.d"
+  "CMakeFiles/sled_apps.dir/wc.cc.o"
+  "CMakeFiles/sled_apps.dir/wc.cc.o.d"
+  "libsled_apps.a"
+  "libsled_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sled_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sled_cache.dir/page_cache.cc.o"
+  "CMakeFiles/sled_cache.dir/page_cache.cc.o.d"
+  "libsled_cache.a"
+  "libsled_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sled_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

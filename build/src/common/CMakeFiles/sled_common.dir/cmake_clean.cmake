@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sled_common.dir/ascii_plot.cc.o"
+  "CMakeFiles/sled_common.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/sled_common.dir/log.cc.o"
+  "CMakeFiles/sled_common.dir/log.cc.o.d"
+  "CMakeFiles/sled_common.dir/result.cc.o"
+  "CMakeFiles/sled_common.dir/result.cc.o.d"
+  "CMakeFiles/sled_common.dir/sim_time.cc.o"
+  "CMakeFiles/sled_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/sled_common.dir/stats.cc.o"
+  "CMakeFiles/sled_common.dir/stats.cc.o.d"
+  "libsled_common.a"
+  "libsled_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sled_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/cdrom_device.cc" "src/device/CMakeFiles/sled_device.dir/cdrom_device.cc.o" "gcc" "src/device/CMakeFiles/sled_device.dir/cdrom_device.cc.o.d"
+  "/root/repo/src/device/device.cc" "src/device/CMakeFiles/sled_device.dir/device.cc.o" "gcc" "src/device/CMakeFiles/sled_device.dir/device.cc.o.d"
+  "/root/repo/src/device/disk_device.cc" "src/device/CMakeFiles/sled_device.dir/disk_device.cc.o" "gcc" "src/device/CMakeFiles/sled_device.dir/disk_device.cc.o.d"
+  "/root/repo/src/device/tape_device.cc" "src/device/CMakeFiles/sled_device.dir/tape_device.cc.o" "gcc" "src/device/CMakeFiles/sled_device.dir/tape_device.cc.o.d"
+  "/root/repo/src/device/tape_schedule.cc" "src/device/CMakeFiles/sled_device.dir/tape_schedule.cc.o" "gcc" "src/device/CMakeFiles/sled_device.dir/tape_schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sled_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

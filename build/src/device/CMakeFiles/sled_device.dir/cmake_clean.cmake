@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sled_device.dir/cdrom_device.cc.o"
+  "CMakeFiles/sled_device.dir/cdrom_device.cc.o.d"
+  "CMakeFiles/sled_device.dir/device.cc.o"
+  "CMakeFiles/sled_device.dir/device.cc.o.d"
+  "CMakeFiles/sled_device.dir/disk_device.cc.o"
+  "CMakeFiles/sled_device.dir/disk_device.cc.o.d"
+  "CMakeFiles/sled_device.dir/tape_device.cc.o"
+  "CMakeFiles/sled_device.dir/tape_device.cc.o.d"
+  "CMakeFiles/sled_device.dir/tape_schedule.cc.o"
+  "CMakeFiles/sled_device.dir/tape_schedule.cc.o.d"
+  "libsled_device.a"
+  "libsled_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sled_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sled_fits.dir/ffsleds.cc.o"
+  "CMakeFiles/sled_fits.dir/ffsleds.cc.o.d"
+  "CMakeFiles/sled_fits.dir/fits.cc.o"
+  "CMakeFiles/sled_fits.dir/fits.cc.o.d"
+  "libsled_fits.a"
+  "libsled_fits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sled_fits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

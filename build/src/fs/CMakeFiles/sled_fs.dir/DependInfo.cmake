@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/extent_allocator.cc" "src/fs/CMakeFiles/sled_fs.dir/extent_allocator.cc.o" "gcc" "src/fs/CMakeFiles/sled_fs.dir/extent_allocator.cc.o.d"
+  "/root/repo/src/fs/extent_file_system.cc" "src/fs/CMakeFiles/sled_fs.dir/extent_file_system.cc.o" "gcc" "src/fs/CMakeFiles/sled_fs.dir/extent_file_system.cc.o.d"
+  "/root/repo/src/fs/filesystem.cc" "src/fs/CMakeFiles/sled_fs.dir/filesystem.cc.o" "gcc" "src/fs/CMakeFiles/sled_fs.dir/filesystem.cc.o.d"
+  "/root/repo/src/fs/hsm_fs.cc" "src/fs/CMakeFiles/sled_fs.dir/hsm_fs.cc.o" "gcc" "src/fs/CMakeFiles/sled_fs.dir/hsm_fs.cc.o.d"
+  "/root/repo/src/fs/remote_fs.cc" "src/fs/CMakeFiles/sled_fs.dir/remote_fs.cc.o" "gcc" "src/fs/CMakeFiles/sled_fs.dir/remote_fs.cc.o.d"
+  "/root/repo/src/fs/vfs.cc" "src/fs/CMakeFiles/sled_fs.dir/vfs.cc.o" "gcc" "src/fs/CMakeFiles/sled_fs.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sled_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sled_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sled_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

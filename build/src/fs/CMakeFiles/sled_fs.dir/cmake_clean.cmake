@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sled_fs.dir/extent_allocator.cc.o"
+  "CMakeFiles/sled_fs.dir/extent_allocator.cc.o.d"
+  "CMakeFiles/sled_fs.dir/extent_file_system.cc.o"
+  "CMakeFiles/sled_fs.dir/extent_file_system.cc.o.d"
+  "CMakeFiles/sled_fs.dir/filesystem.cc.o"
+  "CMakeFiles/sled_fs.dir/filesystem.cc.o.d"
+  "CMakeFiles/sled_fs.dir/hsm_fs.cc.o"
+  "CMakeFiles/sled_fs.dir/hsm_fs.cc.o.d"
+  "CMakeFiles/sled_fs.dir/remote_fs.cc.o"
+  "CMakeFiles/sled_fs.dir/remote_fs.cc.o.d"
+  "CMakeFiles/sled_fs.dir/vfs.cc.o"
+  "CMakeFiles/sled_fs.dir/vfs.cc.o.d"
+  "libsled_fs.a"
+  "libsled_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sled_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

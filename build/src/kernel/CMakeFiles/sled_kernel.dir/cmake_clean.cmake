@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sled_kernel.dir/sim_kernel.cc.o"
+  "CMakeFiles/sled_kernel.dir/sim_kernel.cc.o.d"
+  "CMakeFiles/sled_kernel.dir/sleds_table.cc.o"
+  "CMakeFiles/sled_kernel.dir/sleds_table.cc.o.d"
+  "libsled_kernel.a"
+  "libsled_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sled_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

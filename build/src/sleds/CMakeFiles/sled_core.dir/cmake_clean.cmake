@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sled_core.dir/c_api.cc.o"
+  "CMakeFiles/sled_core.dir/c_api.cc.o.d"
+  "CMakeFiles/sled_core.dir/delivery.cc.o"
+  "CMakeFiles/sled_core.dir/delivery.cc.o.d"
+  "CMakeFiles/sled_core.dir/picker.cc.o"
+  "CMakeFiles/sled_core.dir/picker.cc.o.d"
+  "libsled_core.a"
+  "libsled_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sled_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/calibrate.cc" "src/workload/CMakeFiles/sled_workload.dir/calibrate.cc.o" "gcc" "src/workload/CMakeFiles/sled_workload.dir/calibrate.cc.o.d"
+  "/root/repo/src/workload/experiment.cc" "src/workload/CMakeFiles/sled_workload.dir/experiment.cc.o" "gcc" "src/workload/CMakeFiles/sled_workload.dir/experiment.cc.o.d"
+  "/root/repo/src/workload/fits_gen.cc" "src/workload/CMakeFiles/sled_workload.dir/fits_gen.cc.o" "gcc" "src/workload/CMakeFiles/sled_workload.dir/fits_gen.cc.o.d"
+  "/root/repo/src/workload/shell.cc" "src/workload/CMakeFiles/sled_workload.dir/shell.cc.o" "gcc" "src/workload/CMakeFiles/sled_workload.dir/shell.cc.o.d"
+  "/root/repo/src/workload/testbed.cc" "src/workload/CMakeFiles/sled_workload.dir/testbed.cc.o" "gcc" "src/workload/CMakeFiles/sled_workload.dir/testbed.cc.o.d"
+  "/root/repo/src/workload/text_gen.cc" "src/workload/CMakeFiles/sled_workload.dir/text_gen.cc.o" "gcc" "src/workload/CMakeFiles/sled_workload.dir/text_gen.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/sled_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/sled_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sled_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fits/CMakeFiles/sled_fits.dir/DependInfo.cmake"
+  "/root/repo/build/src/sleds/CMakeFiles/sled_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sled_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sled_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/sled_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sled_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sled_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sled_workload.dir/calibrate.cc.o"
+  "CMakeFiles/sled_workload.dir/calibrate.cc.o.d"
+  "CMakeFiles/sled_workload.dir/experiment.cc.o"
+  "CMakeFiles/sled_workload.dir/experiment.cc.o.d"
+  "CMakeFiles/sled_workload.dir/fits_gen.cc.o"
+  "CMakeFiles/sled_workload.dir/fits_gen.cc.o.d"
+  "CMakeFiles/sled_workload.dir/shell.cc.o"
+  "CMakeFiles/sled_workload.dir/shell.cc.o.d"
+  "CMakeFiles/sled_workload.dir/testbed.cc.o"
+  "CMakeFiles/sled_workload.dir/testbed.cc.o.d"
+  "CMakeFiles/sled_workload.dir/text_gen.cc.o"
+  "CMakeFiles/sled_workload.dir/text_gen.cc.o.d"
+  "CMakeFiles/sled_workload.dir/trace.cc.o"
+  "CMakeFiles/sled_workload.dir/trace.cc.o.d"
+  "libsled_workload.a"
+  "libsled_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sled_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fits_test.dir/fits_test.cc.o"
+  "CMakeFiles/fits_test.dir/fits_test.cc.o.d"
+  "fits_test"
+  "fits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsm_test.dir/hsm_test.cc.o"
+  "CMakeFiles/hsm_test.dir/hsm_test.cc.o.d"
+  "hsm_test"
+  "hsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

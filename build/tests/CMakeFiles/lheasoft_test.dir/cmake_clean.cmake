@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lheasoft_test.dir/lheasoft_test.cc.o"
+  "CMakeFiles/lheasoft_test.dir/lheasoft_test.cc.o.d"
+  "lheasoft_test"
+  "lheasoft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lheasoft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picker_test.dir/picker_test.cc.o"
+  "CMakeFiles/picker_test.dir/picker_test.cc.o.d"
+  "picker_test"
+  "picker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

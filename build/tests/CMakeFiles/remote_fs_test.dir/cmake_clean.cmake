@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_fs_test.dir/remote_fs_test.cc.o"
+  "CMakeFiles/remote_fs_test.dir/remote_fs_test.cc.o.d"
+  "remote_fs_test"
+  "remote_fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
