@@ -34,6 +34,7 @@ int Main() {
   PrintFigure("Figure 7", "Time for NFS wc with/without SLEDs", "Execution time (s)",
               sweep.time_points);
   PrintRatioFigure("Figure 8", "Time ratio of wo/w SLEDs for nfs wc", sweep.time_points);
+  PrintBenchMetrics("fig07_08", sweep.metrics_json);
   return 0;
 }
 

@@ -40,6 +40,7 @@ int Main() {
       params, /*seed_base=*/9000);
   PrintFigure("Figure 9", "Pagefaults for cdrom wc w/wo SLEDs", "Page faults",
               sweep.fault_points);
+  PrintBenchMetrics("fig09", sweep.metrics_json);
   return 0;
 }
 

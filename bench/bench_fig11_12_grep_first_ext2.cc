@@ -49,6 +49,7 @@ int Main() {
               sweep.time_points);
   PrintRatioFigure("Figure 12", "Time ratio of wo/w SLEDS for ext2 grep with one match",
                    sweep.time_points);
+  PrintBenchMetrics("fig11_12", sweep.metrics_json);
   return 0;
 }
 

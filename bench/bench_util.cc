@@ -63,6 +63,7 @@ SweepResult RunFigureSweep(const std::function<Testbed(uint64_t seed)>& make_tes
         time_point.without_sleds = point.seconds;
         fault_point.without_sleds = point.faults;
       }
+      result.metrics_json = tb.kernel->obs().MetricsJson();
     }
     result.time_points.push_back(time_point);
     result.fault_points.push_back(fault_point);
@@ -114,6 +115,24 @@ void PrintRatioFigure(const std::string& figure_id, const std::string& title,
   options.x_label = "File size (MB)";
   options.y_label = "Improvement ratio";
   std::fputs(RenderPlot({ratio}, options).c_str(), stdout);
+}
+
+void PrintBenchMetrics(const std::string& bench_id, const std::string& metrics_json) {
+  std::printf("\n==== BENCH_%s.json ====\n", bench_id.c_str());
+  std::fputs(metrics_json.c_str(), stdout);
+  if (!metrics_json.empty() && metrics_json.back() != '\n') {
+    std::fputs("\n", stdout);
+  }
+  std::printf("==== END BENCH_%s.json ====\n", bench_id.c_str());
+  if (const char* dir = std::getenv("SLEDS_BENCH_JSON_DIR")) {
+    const std::string path = std::string(dir) + "/BENCH_" + bench_id + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fputs(metrics_json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    }
+  }
 }
 
 }  // namespace sled

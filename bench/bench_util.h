@@ -39,6 +39,9 @@ using AppRunnerFn = std::function<void(SimKernel&, Process&, bool use_sleds)>;
 struct SweepResult {
   std::vector<SeriesPoint> time_points;   // x = MB, y = seconds
   std::vector<SeriesPoint> fault_points;  // x = MB, y = page faults
+  // Metrics JSON (Observer::MetricsJson) from the last testbed of the sweep:
+  // the largest size, SLEDs mode. Deterministic for a fixed sweep.
+  std::string metrics_json;
 };
 
 // The standard experiment: for each size and each mode, build a fresh
@@ -56,6 +59,14 @@ void PrintFigure(const std::string& figure_id, const std::string& title,
 // Print the ratio figure derived from a time sweep (paper Figs 8 and 12).
 void PrintRatioFigure(const std::string& figure_id, const std::string& title,
                       const std::vector<SeriesPoint>& points);
+
+// Emit a machine-readable metrics block:
+//   ==== BENCH_<bench_id>.json ====
+//   { ... }
+//   ==== END BENCH_<bench_id>.json ====
+// If SLEDS_BENCH_JSON_DIR is set, the JSON is also written to
+// $SLEDS_BENCH_JSON_DIR/BENCH_<bench_id>.json.
+void PrintBenchMetrics(const std::string& bench_id, const std::string& metrics_json);
 
 }  // namespace sled
 

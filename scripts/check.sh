@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a sanitizer pass over the test suite.
+#
+#   scripts/check.sh            # configure + build + ctest, then ASan+UBSan ctest
+#   SKIP_SAN=1 scripts/check.sh # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==== tier-1: configure + build + ctest ===="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${SKIP_SAN:-}" == "1" ]]; then
+  echo "==== sanitizer pass skipped (SKIP_SAN=1) ===="
+  exit 0
+fi
+
+echo "==== sanitizers: ASan+UBSan build + ctest ===="
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}" >/dev/null
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure -j)
+
+echo "==== all checks passed ===="

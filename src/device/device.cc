@@ -1,6 +1,7 @@
 #include "src/device/device.h"
 
 #include "src/common/log.h"
+#include "src/obs/observer.h"
 
 namespace sled {
 
@@ -9,10 +10,15 @@ Duration StorageDevice::Read(int64_t offset, int64_t nbytes) {
              "%s: read out of range: offset=%lld nbytes=%lld cap=%lld", name_.c_str(),
              static_cast<long long>(offset), static_cast<long long>(nbytes),
              static_cast<long long>(capacity_bytes()));
+  const int64_t repositions_before = stats_.repositions;
   const Duration t = Access(offset, nbytes, /*writing=*/false);
   ++stats_.reads;
   stats_.bytes_read += nbytes;
   stats_.busy_time += t;
+  if (obs_ != nullptr) {
+    obs_->DeviceTransfer(name_, /*write=*/false, offset, nbytes, t,
+                         stats_.repositions > repositions_before);
+  }
   return t;
 }
 
@@ -21,10 +27,15 @@ Duration StorageDevice::Write(int64_t offset, int64_t nbytes) {
              "%s: write out of range: offset=%lld nbytes=%lld cap=%lld", name_.c_str(),
              static_cast<long long>(offset), static_cast<long long>(nbytes),
              static_cast<long long>(capacity_bytes()));
+  const int64_t repositions_before = stats_.repositions;
   const Duration t = Access(offset, nbytes, /*writing=*/true);
   ++stats_.writes;
   stats_.bytes_written += nbytes;
   stats_.busy_time += t;
+  if (obs_ != nullptr) {
+    obs_->DeviceTransfer(name_, /*write=*/true, offset, nbytes, t,
+                         stats_.repositions > repositions_before);
+  }
   return t;
 }
 

@@ -20,6 +20,8 @@
 
 namespace sled {
 
+class Observer;
+
 // Nominal characteristics, the vocabulary of the kernel `sleds_table` (paper
 // Tables 2 and 3): latency to the first byte and streaming bandwidth.
 struct DeviceCharacteristics {
@@ -67,6 +69,11 @@ class StorageDevice {
   const DeviceStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DeviceStats{}; }
 
+  // Report every transfer to an observability sink (trace event + per-device
+  // metrics). Pure instrumentation: attaching an observer never changes any
+  // returned service time.
+  void AttachObserver(Observer* obs) { obs_ = obs; }
+
  protected:
   explicit StorageDevice(std::string name) : name_(std::move(name)) {}
 
@@ -80,6 +87,7 @@ class StorageDevice {
  private:
   std::string name_;
   DeviceStats stats_;
+  Observer* obs_ = nullptr;
 };
 
 }  // namespace sled

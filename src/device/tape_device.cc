@@ -122,6 +122,12 @@ Autochanger::Autochanger(int num_tapes, int num_drives, TapeDeviceConfig tape_co
   }
 }
 
+void Autochanger::AttachObserver(Observer* obs) {
+  for (auto& tape : tapes_) {
+    tape->AttachObserver(obs);
+  }
+}
+
 bool Autochanger::IsMounted(int tape_index) const {
   return std::find(mounted_lru_.begin(), mounted_lru_.end(), tape_index) != mounted_lru_.end();
 }

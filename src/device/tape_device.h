@@ -96,6 +96,8 @@ class Autochanger {
   Duration Estimate(int tape_index, int64_t offset, int64_t nbytes) const;
 
   bool IsMounted(int tape_index) const;
+  // Attach an observability sink to every tape in the library.
+  void AttachObserver(Observer* obs);
   int num_tapes() const { return static_cast<int>(tapes_.size()); }
   int num_drives() const { return num_drives_; }
   const TapeDevice& tape(int index) const { return *tapes_[index]; }

@@ -31,6 +31,11 @@ class ExtentFileSystem : public FileSystem {
   int LevelOf(InodeNum ino, int64_t page) const override;
   std::vector<StorageLevelInfo> Levels() const override;
 
+  void AttachObserver(Observer* obs) override {
+    FileSystem::AttachObserver(obs);
+    device_->AttachObserver(obs);
+  }
+
   StorageDevice& device() { return *device_; }
   const StorageDevice& device() const { return *device_; }
   ExtentAllocator& allocator() { return allocator_; }

@@ -29,6 +29,8 @@
 
 namespace sled {
 
+class Observer;
+
 using InodeNum = int64_t;
 
 inline constexpr InodeNum kRootIno = 1;
@@ -100,6 +102,14 @@ class FileSystem {
   virtual int LevelOf(InodeNum ino, int64_t page) const = 0;
   virtual std::vector<StorageLevelInfo> Levels() const = 0;
 
+  // Attach the kernel's observability sink. Concrete file systems forward
+  // the observer to their storage devices; pure instrumentation, no effect
+  // on any modeled cost. Called by the VFS at mount time.
+  virtual void AttachObserver(Observer* obs) { obs_ = obs; }
+
+ protected:
+  Observer* observer() const { return obs_; }
+
  protected:
   // Allocation hook invoked after any size change (append, truncate). Gives
   // concrete file systems a chance to (de)allocate backing extents.
@@ -130,6 +140,7 @@ class FileSystem {
   std::string name_;
   std::unordered_map<InodeNum, Inode> inodes_;
   InodeNum next_ino_ = kRootIno + 1;
+  Observer* obs_ = nullptr;
 };
 
 }  // namespace sled

@@ -73,6 +73,12 @@ class HsmFs final : public FileSystem {
   // skipped. Returns total device time.
   Result<Duration> RecallBatch(const std::vector<InodeNum>& inos, bool scheduled = true);
 
+  void AttachObserver(Observer* obs) override {
+    FileSystem::AttachObserver(obs);
+    staging_device_->AttachObserver(obs);
+    changer_.AttachObserver(obs);
+  }
+
   bool IsStaged(InodeNum ino) const;
   bool IsOnTape(InodeNum ino) const;
   // Tape index holding the file's offline copy; -1 if none.

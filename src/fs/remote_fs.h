@@ -63,6 +63,7 @@ class RemoteServer {
   const PageCache& cache() const { return cache_; }
   const DiskDevice& disk() const { return *disk_; }
   DeviceCharacteristics DiskNominal() const { return disk_->Nominal(); }
+  void AttachObserver(Observer* obs) { disk_->AttachObserver(obs); }
 
  private:
   // Flush one evicted dirty page; returns disk time.
@@ -84,6 +85,11 @@ class RemoteFs final : public FileSystem {
 
   RemoteServer& server() { return server_; }
   const RemoteServer& server() const { return server_; }
+
+  void AttachObserver(Observer* obs) override {
+    FileSystem::AttachObserver(obs);
+    server_.AttachObserver(obs);
+  }
 
   static constexpr int kLevelServerCache = 0;
   static constexpr int kLevelServerDisk = 1;

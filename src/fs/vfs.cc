@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/log.h"
+#include "src/obs/observer.h"
 
 namespace sled {
 
@@ -51,6 +52,9 @@ Result<uint32_t> Vfs::Mount(std::string path, std::unique_ptr<FileSystem> fs) {
   entry.path = normalized;
   entry.fs_id = next_fs_id_++;
   entry.fs = std::move(fs);
+  if (obs_ != nullptr) {
+    entry.fs->AttachObserver(obs_);
+  }
   mounts_.push_back(std::move(entry));
   // Longest paths first so prefix matching finds the deepest mount.
   std::sort(mounts_.begin(), mounts_.end(),
@@ -91,6 +95,9 @@ const Vfs::MountEntry* Vfs::FindMount(const std::vector<std::string>& components
 }
 
 Result<Vfs::Resolved> Vfs::Resolve(std::string_view path) const {
+  if (obs_ != nullptr) {
+    obs_->VfsResolve();
+  }
   SLED_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(path));
   size_t consumed = 0;
   const MountEntry* mount = FindMount(components, &consumed);
@@ -198,6 +205,13 @@ std::string Vfs::MountPathOf(uint32_t fs_id) const {
     }
   }
   return "";
+}
+
+void Vfs::AttachObserver(Observer* obs) {
+  obs_ = obs;
+  for (MountEntry& m : mounts_) {
+    m.fs->AttachObserver(obs);
+  }
 }
 
 std::vector<std::pair<std::string, uint32_t>> Vfs::Mounts() const {

@@ -60,6 +60,10 @@ class Vfs {
   // All mounts as (path, fs_id) in path order.
   std::vector<std::pair<std::string, uint32_t>> Mounts() const;
 
+  // Attach the kernel's observability sink: counts resolutions and forwards
+  // the observer to every mounted (and future) file system and its devices.
+  void AttachObserver(Observer* obs);
+
  private:
   struct MountEntry {
     std::string path;  // normalized, no trailing slash except root
@@ -74,6 +78,7 @@ class Vfs {
 
   std::vector<MountEntry> mounts_;
   uint32_t next_fs_id_ = 1;
+  Observer* obs_ = nullptr;
 };
 
 }  // namespace sled

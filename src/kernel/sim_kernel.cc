@@ -17,10 +17,15 @@ InodeNum InoOfFid(FileId fid) { return static_cast<InodeNum>(fid & kInoMask); }
 }  // namespace
 
 SimKernel::SimKernel(KernelConfig config)
-    : config_(config), cache_(config.cache), sleds_table_(config.memory) {
+    : config_(config),
+      obs_(&clock_, static_cast<size_t>(std::max(1, config.trace_events))),
+      cache_(config.cache),
+      sleds_table_(config.memory) {
   SLED_CHECK(config_.min_readahead_pages >= 1, "readahead minimum must be >= 1");
   SLED_CHECK(config_.max_readahead_pages >= config_.min_readahead_pages,
              "readahead maximum below minimum");
+  obs_.SetLevelName(kMemoryLevel, "memory");
+  vfs_.AttachObserver(&obs_);
 }
 
 Result<uint32_t> SimKernel::Mount(std::string path, std::unique_ptr<FileSystem> fs) {
@@ -28,10 +33,35 @@ Result<uint32_t> SimKernel::Mount(std::string path, std::unique_ptr<FileSystem> 
   SLED_ASSIGN_OR_RETURN(uint32_t fs_id, vfs_.Mount(std::move(path), std::move(fs)));
   const std::vector<StorageLevelInfo> levels = raw->Levels();
   for (size_t i = 0; i < levels.size(); ++i) {
-    sleds_table_.RegisterLevel(levels[i].name, levels[i].nominal, fs_id, static_cast<int>(i));
+    const int global = sleds_table_.RegisterLevel(levels[i].name, levels[i].nominal, fs_id,
+                                                  static_cast<int>(i));
+    obs_.SetLevelName(global, levels[i].name);
   }
   return fs_id;
 }
+
+// Records syscall entry on construction and the exit event (with the full
+// in-kernel latency, CPU charges plus I/O stalls) on destruction, so every
+// return path of every syscall is covered.
+class SimKernel::SyscallScope {
+ public:
+  SyscallScope(SimKernel& k, Process& p, const char* name)
+      : k_(k), p_(p), name_(name), entered_(k.clock_.Now()) {
+    ++p_.stats().syscalls;
+    k_.obs_.SyscallEnter(p_.pid(), name_);
+    k_.ChargeCpu(p_, k_.config_.costs.syscall_overhead);
+  }
+  ~SyscallScope() { k_.obs_.SyscallExit(p_.pid(), name_, k_.clock_.Now() - entered_); }
+
+  SyscallScope(const SyscallScope&) = delete;
+  SyscallScope& operator=(const SyscallScope&) = delete;
+
+ private:
+  SimKernel& k_;
+  Process& p_;
+  const char* name_;
+  TimePoint entered_;
+};
 
 Process& SimKernel::CreateProcess(std::string name) {
   processes_.push_back(std::make_unique<Process>(next_pid_++, std::move(name)));
@@ -48,11 +78,6 @@ void SimKernel::ChargeIo(Process& p, Duration d) {
   clock_.Advance(d);
 }
 
-void SimKernel::EnterSyscall(Process& p) {
-  ++p.stats().syscalls;
-  ChargeCpu(p, config_.costs.syscall_overhead);
-}
-
 Result<OpenFile*> SimKernel::FdOf(Process& p, int fd) {
   OpenFile* of = p.FindFd(fd);
   if (of == nullptr) {
@@ -64,7 +89,7 @@ Result<OpenFile*> SimKernel::FdOf(Process& p, int fd) {
 FileSystem* SimKernel::FsOf(const OpenFile& of) { return vfs_.FsById(of.fs_id); }
 
 Result<int> SimKernel::Open(Process& p, std::string_view path) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "open");
   SLED_ASSIGN_OR_RETURN(Vfs::Resolved r, vfs_.Resolve(path));
   SLED_ASSIGN_OR_RETURN(InodeAttr attr, r.fs->GetAttr(r.ino));
   if (attr.is_dir) {
@@ -78,7 +103,7 @@ Result<int> SimKernel::Open(Process& p, std::string_view path) {
 }
 
 Result<int> SimKernel::Create(Process& p, std::string_view path) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "creat");
   Vfs::Resolved r;
   auto existing = vfs_.Resolve(path);
   if (existing.ok()) {
@@ -103,7 +128,7 @@ Result<int> SimKernel::Create(Process& p, std::string_view path) {
 }
 
 Result<void> SimKernel::Close(Process& p, int fd) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "close");
   OpenFile* of = p.FindFd(fd);
   if (of == nullptr) {
     return Err::kBadF;
@@ -119,12 +144,23 @@ Result<void> SimKernel::Close(Process& p, int fd) {
 Result<void> SimKernel::PageIn(Process& p, const OpenFile& of, int64_t first_page, int64_t count,
                                int64_t demand_pages) {
   FileSystem* fs = FsOf(of);
+  // Attribute the transfer to the level holding the data *before* the read —
+  // an HSM recall, for example, re-stages the file as a side effect.
+  int level = -1;
+  if (auto global = sleds_table_.GlobalLevelOf(of.fs_id, fs->LevelOf(of.ino, first_page));
+      global.ok()) {
+    level = global.value();
+  }
   SLED_ASSIGN_OR_RETURN(Duration t, fs->ReadPagesFromStore(of.ino, first_page, count));
   ChargeIo(p, t);
   ChargeCpu(p, config_.costs.fault_overhead);
   p.stats().major_faults += count;
   stats_.pages_paged_in += count;
   stats_.readahead_pages += count - demand_pages;
+  obs_.PageIn(p.pid(), of.fid, first_page, count, level, t);
+  if (count > demand_pages) {
+    obs_.Readahead(p.pid(), of.fid, first_page + demand_pages, count - demand_pages);
+  }
   for (int64_t q = first_page; q < first_page + count; ++q) {
     auto evicted = cache_.Insert({of.fid, q}, /*dirty=*/false);
     if (evicted.has_value() && evicted->dirty) {
@@ -134,8 +170,23 @@ Result<void> SimKernel::PageIn(Process& p, const OpenFile& of, int64_t first_pag
   return Result<void>::Ok();
 }
 
+int64_t SimKernel::PlanReadaheadRun(OpenFile& of, int64_t page, int64_t file_pages) {
+  if (page == of.last_demand_page) {
+    of.readahead_window =
+        std::min(std::max(of.readahead_window, 1) * 2, config_.max_readahead_pages);
+  } else {
+    of.readahead_window = config_.min_readahead_pages;
+  }
+  int64_t run = 1;
+  while (run < of.readahead_window && page + run < file_pages &&
+         !cache_.Contains({of.fid, page + run})) {
+    ++run;
+  }
+  return run;
+}
+
 Result<int64_t> SimKernel::Read(Process& p, int fd, std::span<char> dst) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "read");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   FileSystem* fs = FsOf(*of);
   const int64_t size = fs->SizeOf(of->ino);
@@ -154,19 +205,8 @@ Result<int64_t> SimKernel::Read(Process& p, int fd, std::span<char> dst) {
   for (int64_t page = first; page <= last; ++page) {
     const PageKey key{of->fid, page};
     if (!cache_.Touch(key)) {
-      // Demand miss: grow or reset the readahead window, then page in the
-      // run of non-resident pages starting here.
-      if (page == of->last_demand_page) {
-        of->readahead_window = std::min(std::max(of->readahead_window, 1) * 2,
-                                        config_.max_readahead_pages);
-      } else {
-        of->readahead_window = config_.min_readahead_pages;
-      }
-      int64_t run = 1;
-      while (run < of->readahead_window && page + run < file_pages &&
-             !cache_.Contains({of->fid, page + run})) {
-        ++run;
-      }
+      // Demand miss: page in the readahead-planned run starting here.
+      const int64_t run = PlanReadaheadRun(*of, page, file_pages);
       const int64_t demand = std::min<int64_t>(run, last - page + 1);
       SLED_RETURN_IF_ERROR(PageIn(p, *of, page, run, demand));
       of->last_demand_page = page + run;  // next sequential miss lands here
@@ -186,7 +226,7 @@ Result<int64_t> SimKernel::Read(Process& p, int fd, std::span<char> dst) {
 
 Result<std::string_view> SimKernel::MmapRead(Process& p, int fd, int64_t offset,
                                              int64_t length) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "mmap_read");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   FileSystem* fs = FsOf(*of);
   const int64_t size = fs->SizeOf(of->ino);
@@ -203,17 +243,8 @@ Result<std::string_view> SimKernel::MmapRead(Process& p, int fd, int64_t offset,
   for (int64_t page = first; page <= last; ++page) {
     const PageKey key{of->fid, page};
     if (!cache_.Touch(key)) {
-      if (page == of->last_demand_page) {
-        of->readahead_window =
-            std::min(std::max(of->readahead_window, 1) * 2, config_.max_readahead_pages);
-      } else {
-        of->readahead_window = config_.min_readahead_pages;
-      }
-      int64_t run = 1;
-      while (run < of->readahead_window && page + run < file_pages &&
-             !cache_.Contains({of->fid, page + run})) {
-        ++run;
-      }
+      // Demand miss: identical readahead planning to Read().
+      const int64_t run = PlanReadaheadRun(*of, page, file_pages);
       const int64_t demand = std::min<int64_t>(run, last - page + 1);
       SLED_RETURN_IF_ERROR(PageIn(p, *of, page, run, demand));
       of->last_demand_page = page + run;
@@ -228,7 +259,7 @@ Result<std::string_view> SimKernel::MmapRead(Process& p, int fd, int64_t offset,
 }
 
 Result<int64_t> SimKernel::Write(Process& p, int fd, std::span<const char> src) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "write");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   FileSystem* fs = FsOf(*of);
   if (src.empty()) {
@@ -266,7 +297,7 @@ Result<int64_t> SimKernel::Write(Process& p, int fd, std::span<const char> src) 
 }
 
 Result<int64_t> SimKernel::Lseek(Process& p, int fd, int64_t offset, Whence whence) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "lseek");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   FileSystem* fs = FsOf(*of);
   int64_t base = 0;
@@ -290,24 +321,24 @@ Result<int64_t> SimKernel::Lseek(Process& p, int fd, int64_t offset, Whence when
 }
 
 Result<InodeAttr> SimKernel::Stat(Process& p, std::string_view path) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "stat");
   SLED_ASSIGN_OR_RETURN(Vfs::Resolved r, vfs_.Resolve(path));
   return r.fs->GetAttr(r.ino);
 }
 
 Result<InodeAttr> SimKernel::Fstat(Process& p, int fd) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "fstat");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   return FsOf(*of)->GetAttr(of->ino);
 }
 
 Result<std::vector<DirEntry>> SimKernel::ReadDir(Process& p, std::string_view path) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "readdir");
   return vfs_.List(path);
 }
 
 Result<void> SimKernel::Unlink(Process& p, std::string_view path) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "unlink");
   SLED_ASSIGN_OR_RETURN(Vfs::Resolved r, vfs_.Resolve(path));
   const FileId fid = Vfs::MakeFileId(r.fs_id, r.ino);
   cache_.RemoveFile(fid);
@@ -316,7 +347,7 @@ Result<void> SimKernel::Unlink(Process& p, std::string_view path) {
 }
 
 Result<void> SimKernel::Ftruncate(Process& p, int fd, int64_t size) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "ftruncate");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   FileSystem* fs = FsOf(*of);
   SLED_RETURN_IF_ERROR(fs->Truncate(of->ino, size));
@@ -335,7 +366,7 @@ Result<void> SimKernel::Ftruncate(Process& p, int fd, int64_t size) {
 }
 
 Result<void> SimKernel::Fsync(Process& p, int fd) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "fsync");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   FileSystem* fs = FsOf(*of);
   const std::vector<PageKey> dirty = cache_.DirtyPagesOf(of->fid);
@@ -366,21 +397,32 @@ Result<void> SimKernel::Fsync(Process& p, int fd) {
 }
 
 void SimKernel::QueueWriteback(Process* p, PageKey key) {
+  obs_.WritebackQueued(key.file, key.page);
   writeback_queue_.push_back(key);
   if (static_cast<int>(writeback_queue_.size()) >= config_.writeback_batch_pages) {
-    auto t = FlushWriteback();
-    if (t.ok() && p != nullptr) {
-      p->stats().io_time += t.value();
-    }
+    (void)FlushWriteback(p);
   }
 }
 
-Result<Duration> SimKernel::FlushWriteback() {
+Result<Duration> SimKernel::FlushWriteback(Process* p) {
+  if (writeback_queue_.empty()) {
+    return Duration();
+  }
   std::sort(writeback_queue_.begin(), writeback_queue_.end(),
             [](const PageKey& a, const PageKey& b) {
               return a.file != b.file ? a.file < b.file : a.page < b.page;
             });
+  // A page can be queued twice between flushes (dirtied, evicted, re-read,
+  // re-dirtied, evicted again). Deduplicate so each dirty page is written
+  // exactly once per flush.
+  writeback_queue_.erase(std::unique(writeback_queue_.begin(), writeback_queue_.end(),
+                                     [](const PageKey& a, const PageKey& b) {
+                                       return a.file == b.file && a.page == b.page;
+                                     }),
+                         writeback_queue_.end());
   Duration total;
+  int64_t pages_flushed = 0;
+  int64_t runs_flushed = 0;
   size_t i = 0;
   while (i < writeback_queue_.size()) {
     const FileId fid = writeback_queue_[i].file;
@@ -396,6 +438,8 @@ Result<Duration> SimKernel::FlushWriteback() {
       if (t.ok()) {
         total += t.value();
         stats_.pages_written_back += static_cast<int64_t>(j - i);
+        pages_flushed += static_cast<int64_t>(j - i);
+        ++runs_flushed;
       }
       // Errors (unlinked file, offline HSM file) drop the pages: the data
       // was already discarded at the content layer.
@@ -404,21 +448,29 @@ Result<Duration> SimKernel::FlushWriteback() {
   }
   writeback_queue_.clear();
   clock_.Advance(total);
+  // A synchronous flush happens on behalf of whichever process pushed the
+  // queue over the batch threshold; its device time belongs on that process's
+  // I/O account (background flushes pass p == nullptr).
+  if (p != nullptr) {
+    p->stats().io_time += total;
+  }
+  obs_.WritebackFlush(p != nullptr ? p->pid() : 0, pages_flushed, runs_flushed, total);
   return total;
 }
 
 Result<void> SimKernel::IoctlSledsFill(Process& p, int level, DeviceCharacteristics chars) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "ioctl_sleds_fill");
   return sleds_table_.Fill(level, chars);
 }
 
 Result<SledVector> SimKernel::IoctlSledsGet(Process& p, int fd) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "ioctl_sleds_get");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   FileSystem* fs = FsOf(*of);
   const int64_t size = fs->SizeOf(of->ino);
   const int64_t npages = PagesFor(size);
   ChargeCpu(p, config_.costs.sled_scan_per_page * npages);
+  obs_.SledScan(p.pid(), of->fid, npages);
 
   SledVector sleds;
   for (int64_t page = 0; page < npages; ++page) {
@@ -445,7 +497,7 @@ Result<SledVector> SimKernel::IoctlSledsGet(Process& p, int fd) {
 }
 
 Result<int64_t> SimKernel::IoctlSledsLock(Process& p, int fd, int64_t offset, int64_t length) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "ioctl_sleds_lock");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   if (offset < 0 || length <= 0) {
     return Err::kInval;
@@ -472,7 +524,7 @@ Result<int64_t> SimKernel::IoctlSledsLock(Process& p, int fd, int64_t offset, in
 }
 
 Result<int64_t> SimKernel::IoctlSledsUnlock(Process& p, int fd, int64_t offset, int64_t length) {
-  EnterSyscall(p);
+  SyscallScope sys(*this, p, "ioctl_sleds_unlock");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   const int64_t first = length < 0 ? 0 : offset / kPageSize;
   const int64_t last =
@@ -508,7 +560,7 @@ Duration SimKernel::FlushAllDirty() {
     cache_.MarkClean(key);
   }
   clock_.Advance(total);
-  auto queued = FlushWriteback();  // advances the clock itself
+  auto queued = FlushWriteback(nullptr);  // advances the clock itself
   if (queued.ok()) {
     total += queued.value();
   }

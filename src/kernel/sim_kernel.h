@@ -17,6 +17,7 @@
 #include "src/fs/vfs.h"
 #include "src/kernel/process.h"
 #include "src/kernel/sleds_table.h"
+#include "src/obs/observer.h"
 #include "src/sleds/sled.h"
 
 namespace sled {
@@ -44,6 +45,10 @@ struct KernelConfig {
   // approximating bdflush.
   int writeback_batch_pages = 256;
   CpuCosts costs;
+  // Capacity of the observability event-trace ring (events). Tracing is
+  // harness instrumentation: it records simulated timestamps but costs zero
+  // simulated time.
+  int trace_events = 16384;
 };
 
 enum class Whence { kSet, kCur, kEnd };
@@ -115,6 +120,10 @@ class SimKernel {
   const SledsTable& sleds_table() const { return sleds_table_; }
   const KernelStats& stats() const { return stats_; }
   const KernelConfig& config() const { return config_; }
+  // The observability subsystem: event trace + metric registry covering every
+  // syscall, page-in, writeback, SLED scan, and raw device transfer.
+  Observer& obs() { return obs_; }
+  const Observer& obs() const { return obs_; }
 
   // Drop every clean page and discard the writeback queue after flushing.
   // (Cold-cache experiment setup.)
@@ -124,10 +133,14 @@ class SimKernel {
   Duration FlushAllDirty();
 
  private:
+  // RAII syscall bracket: counts the call, charges entry overhead, and
+  // records enter/exit trace events plus a per-syscall latency sample
+  // covering everything charged while in the kernel.
+  class SyscallScope;
+
   Result<OpenFile*> FdOf(Process& p, int fd);
   void ChargeCpu(Process& p, Duration d);
   void ChargeIo(Process& p, Duration d);
-  void EnterSyscall(Process& p);
 
   // Fetch pages [first, first+count) of the file into the cache, charging
   // device time and fault accounting to `p`. Evicted dirty pages spill to
@@ -135,14 +148,21 @@ class SimKernel {
   Result<void> PageIn(Process& p, const OpenFile& of, int64_t first_page, int64_t count,
                       int64_t demand_pages);
 
+  // Demand miss on `page`: grow (sequential) or reset (random) the
+  // descriptor's readahead window, then return the length of the run of
+  // non-resident pages to fetch starting at `page`. Shared by Read and
+  // MmapRead so the two paths cannot drift.
+  int64_t PlanReadaheadRun(OpenFile& of, int64_t page, int64_t file_pages);
+
   // Writeback machinery.
   void QueueWriteback(Process* p, PageKey key);
-  Result<Duration> FlushWriteback();
+  Result<Duration> FlushWriteback(Process* p);
 
   FileSystem* FsOf(const OpenFile& of);
 
   KernelConfig config_;
   SimClock clock_;
+  Observer obs_;
   Vfs vfs_;
   PageCache cache_;
   SledsTable sleds_table_;

@@ -1,0 +1,191 @@
+#include "src/obs/observer.h"
+
+#include <cstdio>
+
+#include "src/common/log.h"
+
+namespace sled {
+namespace {
+
+// Level/device names become metric-key segments; keep them to one token.
+std::string Sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Observer::Observer(const SimClock* clock, size_t trace_capacity)
+    : clock_(clock), trace_(trace_capacity) {
+  SLED_CHECK(clock_ != nullptr, "observer needs a clock");
+}
+
+void Observer::SetLevelName(int level, std::string name) {
+  if (level < 0) {
+    return;
+  }
+  if (static_cast<int>(level_names_.size()) <= level) {
+    level_names_.resize(static_cast<size_t>(level) + 1);
+  }
+  level_names_[static_cast<size_t>(level)] = Sanitize(name);
+}
+
+std::string_view Observer::LevelName(int level) const {
+  if (level < 0 || level >= static_cast<int>(level_names_.size())) {
+    return "unknown";
+  }
+  return level_names_[static_cast<size_t>(level)];
+}
+
+std::string Observer::LevelKey(int level, std::string_view suffix) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "level.%d.", level);
+  std::string key = buf;
+  key += LevelName(level);
+  key += '.';
+  key += suffix;
+  return key;
+}
+
+void Observer::SyscallEnter(int pid, const char* name) {
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kSyscallEnter;
+  e.pid = pid;
+  e.tag = name;
+  trace_.Push(std::move(e));
+}
+
+void Observer::SyscallExit(int pid, const char* name, Duration latency) {
+  metrics_.Observe(std::string("syscall.") + name, latency);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kSyscallExit;
+  e.pid = pid;
+  e.dur = latency;
+  e.tag = name;
+  trace_.Push(std::move(e));
+}
+
+void Observer::PageIn(int pid, uint64_t file, int64_t first_page, int64_t pages, int level,
+                      Duration device_time) {
+  metrics_.Add("kernel.pageins");
+  metrics_.Add("kernel.pages_paged_in", pages);
+  if (level >= 0) {
+    metrics_.Add(LevelKey(level, "pageins"));
+    metrics_.Add(LevelKey(level, "pagein_pages"), pages);
+    metrics_.Observe(LevelKey(level, "pagein_time"), device_time);
+  }
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kPageIn;
+  e.pid = pid;
+  e.level = level;
+  e.file = file;
+  e.a = first_page;
+  e.b = pages;
+  e.dur = device_time;
+  trace_.Push(std::move(e));
+}
+
+void Observer::Readahead(int pid, uint64_t file, int64_t first_page, int64_t pages) {
+  metrics_.Add("kernel.readahead_batches");
+  metrics_.Add("kernel.readahead_pages", pages);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kReadahead;
+  e.pid = pid;
+  e.file = file;
+  e.a = first_page;
+  e.b = pages;
+  trace_.Push(std::move(e));
+}
+
+void Observer::WritebackQueued(uint64_t file, int64_t page) {
+  metrics_.Add("kernel.writeback_queued");
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kWritebackQueue;
+  e.file = file;
+  e.a = page;
+  trace_.Push(std::move(e));
+}
+
+void Observer::WritebackFlush(int pid, int64_t pages, int64_t runs, Duration device_time) {
+  metrics_.Add("kernel.writeback_flushes");
+  metrics_.Add("kernel.writeback_pages", pages);
+  metrics_.Add("kernel.writeback_runs", runs);
+  metrics_.Observe("writeback.flush_time", device_time);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kWritebackFlush;
+  e.pid = pid;
+  e.a = pages;
+  e.b = runs;
+  e.dur = device_time;
+  trace_.Push(std::move(e));
+}
+
+void Observer::DeviceTransfer(std::string_view device, bool write, int64_t offset, int64_t nbytes,
+                              Duration service_time, bool repositioned) {
+  std::string key = "dev.";
+  key += Sanitize(device);
+  const size_t base_len = key.size();
+  key += write ? ".writes" : ".reads";
+  metrics_.Add(key);
+  key.resize(base_len);
+  key += write ? ".bytes_written" : ".bytes_read";
+  metrics_.Add(key, nbytes);
+  if (repositioned) {
+    key.resize(base_len);
+    key += ".repositions";
+    metrics_.Add(key);
+  }
+  key.resize(base_len);
+  key += write ? ".write_time" : ".read_time";
+  metrics_.Observe(key, service_time);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = write ? TraceKind::kDeviceWrite : TraceKind::kDeviceRead;
+  e.a = offset;
+  e.b = nbytes;
+  e.dur = service_time;
+  e.tag = std::string(device);
+  trace_.Push(std::move(e));
+}
+
+void Observer::SledScan(int pid, uint64_t file, int64_t pages) {
+  metrics_.Add("kernel.sled_scans");
+  metrics_.Add("kernel.sled_scan_pages", pages);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kSledScan;
+  e.pid = pid;
+  e.file = file;
+  e.b = pages;
+  trace_.Push(std::move(e));
+}
+
+void Observer::VfsResolve() { metrics_.Add("vfs.resolves"); }
+
+std::string Observer::MetricsJson() const {
+  std::string out = metrics_.ToJson();
+  SLED_CHECK(!out.empty() && out.back() == '}', "malformed metrics json");
+  out.pop_back();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                ",  \"trace\": {\"total\": %lld, \"retained\": %lld, \"dropped\": %lld}\n}",
+                static_cast<long long>(trace_.total()),
+                static_cast<long long>(trace_.size()),
+                static_cast<long long>(trace_.dropped()));
+  out += buf;
+  return out;
+}
+
+}  // namespace sled

@@ -1,0 +1,70 @@
+// Observer: the kernel-wide observability facade. Owns the event-trace ring
+// and the metric registry and exposes one typed hook per instrumented event;
+// the kernel, the VFS, the file systems, and the storage devices all report
+// through the same Observer so a single export shows where simulated time
+// went per syscall, per device, and per storage level.
+//
+// Hooks read the SimClock to timestamp events but never advance it: tracing
+// is harness instrumentation, not modeled CPU work, so an instrumented run
+// and an uninstrumented one take identical simulated time.
+#ifndef SLEDS_SRC_OBS_OBSERVER_H_
+#define SLEDS_SRC_OBS_OBSERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace sled {
+
+class Observer {
+ public:
+  explicit Observer(const SimClock* clock, size_t trace_capacity = 16384);
+
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+
+  // Storage-level names, registered by the kernel as sleds_table rows are
+  // created; used to label per-level metrics and the iostat table.
+  void SetLevelName(int level, std::string name);
+  std::string_view LevelName(int level) const;
+  int num_levels() const { return static_cast<int>(level_names_.size()); }
+
+  // ---- hooks ----
+  void SyscallEnter(int pid, const char* name);
+  void SyscallExit(int pid, const char* name, Duration latency);
+  void PageIn(int pid, uint64_t file, int64_t first_page, int64_t pages, int level,
+              Duration device_time);
+  void Readahead(int pid, uint64_t file, int64_t first_page, int64_t pages);
+  void WritebackQueued(uint64_t file, int64_t page);
+  void WritebackFlush(int pid, int64_t pages, int64_t runs, Duration device_time);
+  void DeviceTransfer(std::string_view device, bool write, int64_t offset, int64_t nbytes,
+                      Duration service_time, bool repositioned);
+  void SledScan(int pid, uint64_t file, int64_t pages);
+  void VfsResolve();
+
+  // Combined export: the metric registry plus a trace summary block.
+  std::string MetricsJson() const;
+
+ private:
+  // "level.<id>.<suffix>", using the registered name when present.
+  std::string LevelKey(int level, std::string_view suffix) const;
+
+  const SimClock* clock_;
+  TraceRing trace_;
+  MetricRegistry metrics_;
+  std::vector<std::string> level_names_;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_OBS_OBSERVER_H_

@@ -1,5 +1,6 @@
 #include "src/workload/shell.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <sstream>
@@ -54,7 +55,9 @@ constexpr char kHelp[] =
     "  sleds <path> | delivery <path>\n"
     "  lock <path> | unlock <path>\n"
     "  migrate <path> | recall <path> | seal <path>\n"
-    "  dropcaches | flush | stats | clock | help\n";
+    "  dropcaches | flush | stats | clock | help\n"
+    "  trace [n]   (last n kernel trace events as CSV, default 20)\n"
+    "  iostat      (per-storage-level I/O metrics)\n";
 
 }  // namespace
 
@@ -162,6 +165,12 @@ std::string SledShell::Execute(const std::string& line) {
   }
   if (cmd == "stats") {
     return CmdStats();
+  }
+  if (cmd == "trace") {
+    return CmdTrace(args);
+  }
+  if (cmd == "iostat") {
+    return CmdIostat();
   }
   if (cmd == "clock") {
     return Format("t = %s\n", kernel_->clock().Now().since_epoch().ToString().c_str());
@@ -530,6 +539,54 @@ std::string SledShell::CmdStats() {
     out += Format("  [%d] %-10s %12s %8.1f MB/s\n", i, row.name.c_str(),
                   row.chars.latency.ToString().c_str(), row.chars.bandwidth_bps / 1e6);
   }
+  return out;
+}
+
+std::string SledShell::CmdTrace(const std::vector<std::string>& args) {
+  int64_t n = 20;
+  if (!args.empty()) {
+    n = atoll(args[0].c_str());
+    if (n <= 0) {
+      return "usage: trace [n]\n";
+    }
+  }
+  const TraceRing& ring = kernel_->obs().trace();
+  std::string out = Format("%lld events recorded, %lld dropped, showing last %lld:\n",
+                           static_cast<long long>(ring.total()),
+                           static_cast<long long>(ring.dropped()),
+                           static_cast<long long>(std::min<int64_t>(
+                               n, static_cast<int64_t>(ring.size()))));
+  out += ring.DumpCsv(static_cast<size_t>(n));
+  return out;
+}
+
+std::string SledShell::CmdIostat() {
+  const Observer& obs = kernel_->obs();
+  const MetricRegistry& m = obs.metrics();
+  std::string out;
+  out += Format("%-3s %-10s %10s %10s %14s %12s %12s %12s\n", "lvl", "name", "pageins", "pages",
+                "device_time", "p50", "p95", "p99");
+  for (int i = 0; i < obs.num_levels(); ++i) {
+    const std::string name(obs.LevelName(i));
+    const std::string base = Format("level.%d.%s.", i, name.c_str());
+    const LatencyHistogram* h = m.histogram(base + "pagein_time");
+    const std::string sum = h ? h->sum().ToString() : "-";
+    const std::string p50 = h ? h->Quantile(0.50).ToString() : "-";
+    const std::string p95 = h ? h->Quantile(0.95).ToString() : "-";
+    const std::string p99 = h ? h->Quantile(0.99).ToString() : "-";
+    out += Format("%-3d %-10s %10lld %10lld %14s %12s %12s %12s\n", i, name.c_str(),
+                  static_cast<long long>(m.counter(base + "pageins")),
+                  static_cast<long long>(m.counter(base + "pagein_pages")), sum.c_str(),
+                  p50.c_str(), p95.c_str(), p99.c_str());
+  }
+  out += Format("readahead: %lld batches, %lld pages\n",
+                static_cast<long long>(m.counter("kernel.readahead_batches")),
+                static_cast<long long>(m.counter("kernel.readahead_pages")));
+  out += Format("writeback: %lld queued, %lld flushes, %lld pages, %lld runs\n",
+                static_cast<long long>(m.counter("kernel.writeback_queued")),
+                static_cast<long long>(m.counter("kernel.writeback_flushes")),
+                static_cast<long long>(m.counter("kernel.writeback_pages")),
+                static_cast<long long>(m.counter("kernel.writeback_runs")));
   return out;
 }
 

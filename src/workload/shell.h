@@ -19,6 +19,8 @@
 //   migrate <path> | recall <path> HSM control (hsm mounts only)
 //   seal <path>                    finish mastering an ISO mount
 //   dropcaches | flush | stats | clock
+//   trace [n]                      last n kernel trace events as CSV (20)
+//   iostat                         per-storage-level I/O metrics table
 //   help
 #ifndef SLEDS_SRC_WORKLOAD_SHELL_H_
 #define SLEDS_SRC_WORKLOAD_SHELL_H_
@@ -63,6 +65,8 @@ class SledShell {
   std::string CmdLs(const std::vector<std::string>& args);
   std::string CmdStat(const std::vector<std::string>& args);
   std::string CmdStats();
+  std::string CmdTrace(const std::vector<std::string>& args);
+  std::string CmdIostat();
 
   // Fresh process per command, like a shell forking.
   Process& NewProcess(const std::string& name);

@@ -208,5 +208,33 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(ReplacementPolicy::kLru, ReplacementPolicy::kClock),
                        ::testing::Values(1, 3, 16, 64), ::testing::Values(11u, 42u, 1234u)));
 
+TEST(PageCacheTest, SinglePageCacheRefusesAllPins) {
+  // The pin budget is capacity/2; with capacity 1 that is zero, so even a
+  // resident page cannot be pinned — the cache must keep its one frame
+  // evictable.
+  PageCache cache({.capacity_pages = 1});
+  cache.Insert(K(1, 0), false);
+  EXPECT_TRUE(cache.Contains(K(1, 0)));
+  EXPECT_FALSE(cache.Pin(K(1, 0)));
+  EXPECT_FALSE(cache.IsPinned(K(1, 0)));
+  EXPECT_EQ(cache.pinned_pages(), 0);
+  // The unpinned page still cycles normally.
+  auto evicted = cache.Insert(K(1, 1), false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, K(1, 0));
+}
+
+TEST(PageCacheTest, PinBudgetIsHalfCapacity) {
+  PageCache cache({.capacity_pages = 4});
+  for (int64_t p = 0; p < 4; ++p) {
+    cache.Insert(K(1, p), false);
+  }
+  EXPECT_TRUE(cache.Pin(K(1, 0)));
+  EXPECT_TRUE(cache.Pin(K(1, 1)));
+  EXPECT_FALSE(cache.Pin(K(1, 2)));  // budget (2) exhausted
+  cache.Unpin(K(1, 0));
+  EXPECT_TRUE(cache.Pin(K(1, 2)));  // freed slot is reusable
+}
+
 }  // namespace
 }  // namespace sled

@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <string>
+#include <tuple>
 
 #include "src/device/disk_device.h"
 #include "src/fs/extent_file_system.h"
@@ -425,6 +426,124 @@ TEST(KernelTest, IoTimeAndCpuTimeSeparated) {
   (void)ReadFile(*w.kernel, warm, "/f");
   EXPECT_EQ(warm.stats().io_time.nanos(), 0);  // pure cache: no device time
   EXPECT_GT(warm.stats().cpu_time.nanos(), 0);
+}
+
+TEST(KernelTest, WritebackFlushDeduplicatesRequeuedPages) {
+  // A page dirtied, evicted, re-dirtied, and evicted again sits in the
+  // writeback queue twice; a flush must write it once.
+  KernelConfig config;
+  config.cache.capacity_pages = 4;
+  config.writeback_batch_pages = 256;  // no flush until FlushAllDirty
+  auto kernel = std::make_unique<SimKernel>(config);
+  auto fs = std::make_unique<ExtFs>("ext2", std::make_unique<DiskDevice>(DiskDeviceConfig{}));
+  ASSERT_TRUE(kernel->Mount("/", std::move(fs)).ok());
+  Process& p = kernel->CreateProcess("writer");
+  const std::string page(kPageSize, 'w');
+  const int fd = kernel->Create(p, "/f").value();
+  auto write_pages = [&](int64_t first, int n) {
+    ASSERT_TRUE(kernel->Lseek(p, fd, first * kPageSize, Whence::kSet).ok());
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(kernel->Write(p, fd, std::span<const char>(page.data(), page.size())).ok());
+    }
+  };
+  write_pages(0, 6);  // pages 4,5 evict dirty pages 0,1 -> queue [0,1]
+  write_pages(0, 1);  // page 0 dirty again, evicts 2 -> queue [0,1,2]
+  write_pages(6, 4);  // evicts 3,4,5 and page 0 a second time -> queue [0,1,2,3,4,5,0]
+  const int64_t queued = kernel->obs().metrics().counter("kernel.writeback_queued");
+  EXPECT_EQ(queued, 7);
+  (void)kernel->FlushAllDirty();
+  // The queue flush wrote 6 unique pages, not 7; the 4 still-resident dirty
+  // pages (6..9) flushed directly.
+  EXPECT_EQ(kernel->obs().metrics().counter("kernel.writeback_pages"), 6);
+  EXPECT_EQ(kernel->stats().pages_written_back, 10);
+  ASSERT_TRUE(kernel->Close(p, fd).ok());
+}
+
+TEST(KernelTest, SynchronousFlushTimeIsChargedToTriggeringProcess) {
+  // With one process driving everything, every nanosecond the clock advances
+  // must land on that process's cpu or io account — including the device time
+  // of synchronous writeback flushes. An uncharged flush breaks the equality.
+  KernelConfig config;
+  config.cache.capacity_pages = 16;
+  config.writeback_batch_pages = 8;
+  auto kernel = std::make_unique<SimKernel>(config);
+  auto fs = std::make_unique<ExtFs>("ext2", std::make_unique<DiskDevice>(DiskDeviceConfig{}));
+  ASSERT_TRUE(kernel->Mount("/", std::move(fs)).ok());
+  Process& p = kernel->CreateProcess("writer");
+  const std::string data(64 * kPageSize, 'w');
+  const int fd = kernel->Create(p, "/out").value();
+  ASSERT_TRUE(kernel->Write(p, fd, std::span<const char>(data.data(), data.size())).ok());
+  ASSERT_TRUE(kernel->Close(p, fd).ok());
+  EXPECT_GT(kernel->obs().metrics().counter("kernel.writeback_flushes"), 0);
+  EXPECT_EQ(kernel->clock().Now().since_epoch().nanos(), p.stats().elapsed().nanos());
+}
+
+TEST(KernelTest, ReadAndMmapReadShareReadaheadPlanning) {
+  // The two demand-paging paths use one readahead planner: identical access
+  // patterns produce identical fault counts and readahead volume.
+  auto run = [](bool use_mmap) {
+    World w = MakeWorld(/*cache_pages=*/256);
+    const std::string data(64 * kPageSize, 'm');
+    WriteFile(*w.kernel, *w.proc, "/f", data);
+    w.kernel->DropCaches();
+    Process& p = w.kernel->CreateProcess("reader");
+    if (use_mmap) {
+      // Touch the mapping in the same 8 KiB strides ReadFile uses, so both
+      // paths present identical demand patterns to the planner.
+      const int fd = w.kernel->Open(p, "/f").value();
+      for (int64_t off = 0; off < static_cast<int64_t>(data.size()); off += 8192) {
+        EXPECT_TRUE(w.kernel->MmapRead(p, fd, off, 8192).ok());
+      }
+      EXPECT_TRUE(w.kernel->Close(p, fd).ok());
+    } else {
+      EXPECT_EQ(ReadFile(*w.kernel, p, "/f"), data);
+    }
+    return std::tuple(p.stats().major_faults, w.kernel->stats().readahead_pages,
+                      w.kernel->stats().pages_paged_in);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(KernelTest, ReadaheadWindowGrowsFromMinAndResetsOnJump) {
+  KernelConfig config;
+  config.cache.capacity_pages = 256;
+  config.min_readahead_pages = 2;
+  config.max_readahead_pages = 8;
+  auto kernel = std::make_unique<SimKernel>(config);
+  auto fs = std::make_unique<ExtFs>("ext2", std::make_unique<DiskDevice>(DiskDeviceConfig{}));
+  ASSERT_TRUE(kernel->Mount("/", std::move(fs)).ok());
+  Process& p = kernel->CreateProcess("writer");
+  WriteFile(*kernel, p, "/f", std::string(64 * kPageSize, 'r'));
+  kernel->DropCaches();
+  Process& r = kernel->CreateProcess("reader");
+  const int fd = kernel->Open(r, "/f").value();
+  char c;
+  auto read_at = [&](int64_t page) {
+    ASSERT_TRUE(kernel->Lseek(r, fd, page * kPageSize, Whence::kSet).ok());
+    ASSERT_TRUE(kernel->Read(r, fd, std::span<char>(&c, 1)).ok());
+  };
+  int64_t before = kernel->stats().pages_paged_in;
+  read_at(10);  // first access: minimum window
+  EXPECT_EQ(kernel->stats().pages_paged_in - before, 2);
+  before = kernel->stats().pages_paged_in;
+  read_at(12);  // sequential (lands on last_demand_page): window doubles
+  EXPECT_EQ(kernel->stats().pages_paged_in - before, 4);
+  before = kernel->stats().pages_paged_in;
+  read_at(40);  // jump: window resets to the minimum
+  EXPECT_EQ(kernel->stats().pages_paged_in - before, 2);
+  ASSERT_TRUE(kernel->Close(r, fd).ok());
+}
+
+TEST(KernelTest, SinglePageCacheKernelRefusesSledLocks) {
+  World w = MakeWorld(/*cache_pages=*/1);
+  WriteFile(*w.kernel, *w.proc, "/f", std::string(kPageSize, 'x'));
+  const int fd = w.kernel->Open(*w.proc, "/f").value();
+  char c;
+  ASSERT_TRUE(w.kernel->Read(*w.proc, fd, std::span<char>(&c, 1)).ok());
+  // The page is resident, but the half-capacity pin bound (1/2 = 0) refuses
+  // every pin: the lock succeeds with zero pages pinned.
+  EXPECT_EQ(w.kernel->IoctlSledsLock(*w.proc, fd, 0, kPageSize).value(), 0);
+  ASSERT_TRUE(w.kernel->Close(*w.proc, fd).ok());
 }
 
 }  // namespace

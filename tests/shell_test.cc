@@ -2,6 +2,8 @@
 // the whole stack through its highest-level interface.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/workload/shell.h"
 
 namespace sled {
@@ -158,6 +160,39 @@ TEST(ShellTest, ZonedMountShowsPerZoneRows) {
   const std::string stats = shell.Execute("stats");
   EXPECT_NE(stats.find("disk-z0"), std::string::npos);
   EXPECT_NE(stats.find("disk-z7"), std::string::npos);
+}
+
+TEST(ShellTest, TraceDumpsRecentEvents) {
+  SledShell shell;
+  (void)shell.Execute("mount ext2 /data");
+  (void)shell.Execute("genfile /data/t.txt 1");
+  (void)shell.Execute("dropcaches");
+  (void)shell.Execute("cat /data/t.txt");
+  const std::string out = shell.Execute("trace 10");
+  EXPECT_NE(out.find("events recorded"), std::string::npos);
+  EXPECT_NE(out.find("seq,t_ns,kind,pid,level,file,a,b,dur_ns,tag"), std::string::npos);
+  // cat ends with a close: its exit event is in the last 10.
+  EXPECT_NE(out.find("syscall_exit"), std::string::npos);
+  // At most header + preamble + 10 rows.
+  EXPECT_LE(std::count(out.begin(), out.end(), '\n'), 12);
+  EXPECT_NE(shell.Execute("trace bogus").find("usage"), std::string::npos);
+}
+
+TEST(ShellTest, IostatShowsPerLevelActivity) {
+  SledShell shell;
+  (void)shell.Execute("mount ext2 /data");
+  (void)shell.Execute("genfile /data/t.txt 1");
+  (void)shell.Execute("dropcaches");
+  (void)shell.Execute("cat /data/t.txt");
+  const std::string out = shell.Execute("iostat");
+  EXPECT_NE(out.find("pageins"), std::string::npos);
+  EXPECT_NE(out.find("memory"), std::string::npos);  // level 0
+  EXPECT_NE(out.find("disk"), std::string::npos);    // the data fs level
+  EXPECT_NE(out.find("readahead:"), std::string::npos);
+  EXPECT_NE(out.find("writeback:"), std::string::npos);
+  // The cold cat paged everything in from the data disk: some level line has
+  // a non-zero pagein count and quantiles.
+  EXPECT_NE(out.find("p95"), std::string::npos);
 }
 
 }  // namespace
