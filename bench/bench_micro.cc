@@ -1,12 +1,26 @@
-// Microbenchmarks (google-benchmark) for the SLEDs hot paths: cache ops,
-// kernel SLED scans, picker stepping, the Horspool search, and FITS pixel
-// codecs. These bound the CPU overhead the SLEDs machinery adds per I/O.
+// Microbenchmarks for the SLEDs hot paths: cache ops, kernel SLED scans,
+// picker stepping, the Horspool search, and FITS pixel codecs. These bound
+// the CPU overhead the SLEDs machinery adds per I/O.
+//
+// Two layers:
+//  * A wall-clock suite (std::chrono, real time — NOT the simulated clock)
+//    that pits the run-indexed page cache against naive page-at-a-time
+//    replicas of the old algorithms and emits a BENCH_micro.json block.
+//  * The google-benchmark registrations, run afterwards.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "src/apps/grep.h"
 #include "src/cache/page_cache.h"
+#include "src/common/log.h"
 #include "src/common/rng.h"
 #include "src/device/disk_device.h"
 #include "src/fits/fits.h"
@@ -44,7 +58,8 @@ struct KernelFixture {
   Process* proc = nullptr;
   int fd = -1;
 
-  explicit KernelFixture(int64_t file_pages) {
+  explicit KernelFixture(int64_t file_pages, int64_t stripe_period = 16,
+                         int64_t stripe_len = 8) {
     KernelConfig config;
     config.cache.capacity_pages = file_pages;
     kernel = std::make_unique<SimKernel>(config);
@@ -59,8 +74,8 @@ struct KernelFixture {
     kernel->DropCaches();
     fd = kernel->Open(*proc, "/f").value();
     char b;
-    for (int64_t page = 0; page < file_pages; page += 16) {
-      for (int64_t q = page; q < std::min(page + 8, file_pages); ++q) {
+    for (int64_t page = 0; page < file_pages; page += stripe_period) {
+      for (int64_t q = page; q < std::min(page + stripe_len, file_pages); ++q) {
         (void)kernel->Lseek(*proc, fd, q * kPageSize, Whence::kSet);
         (void)kernel->Read(*proc, fd, std::span<char>(&b, 1));
       }
@@ -138,7 +153,197 @@ void BM_KernelCachedRead(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelCachedRead);
 
+// ---------------------------------------------------------------------------
+// Wall-clock suite. Everything below measures *host* time with
+// std::chrono::steady_clock — the simulated clock plays no part — comparing
+// the run-indexed cache paths against faithful replicas of the old
+// page-at-a-time algorithms built from the same public API.
+
+// Best-of-N wall time in microseconds (min is robust against scheduler noise).
+template <typename F>
+double BestWallMicros(int iters, F&& f) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  return best;
+}
+
+// Replica of the pre-index FSLEDS_GET: probe the cache for every page of the
+// file and merge adjacent equal-level pages.
+SledVector NaiveSledsGet(SimKernel& k, uint32_t fs_id, InodeNum ino, FileId fid) {
+  FileSystem* fs = k.vfs().FsById(fs_id);
+  const int64_t size = fs->SizeOf(ino);
+  const int64_t npages = PagesFor(size);
+  SledVector sleds;
+  for (int64_t page = 0; page < npages; ++page) {
+    int level = kMemoryLevel;
+    if (!k.cache().Contains({fid, page})) {
+      level = k.sleds_table().GlobalLevelOf(fs_id, fs->LevelOf(ino, page)).value();
+    }
+    const int64_t page_bytes = std::min(kPageSize, size - page * kPageSize);
+    if (!sleds.empty() && sleds.back().level == level) {
+      sleds.back().length += page_bytes;
+      continue;
+    }
+    const SledsTable::Row& row = k.sleds_table().row(level);
+    Sled s;
+    s.offset = page * kPageSize;
+    s.length = page_bytes;
+    s.latency = row.chars.latency.ToSeconds();
+    s.bandwidth = row.chars.bandwidth_bps;
+    s.level = level;
+    sleds.push_back(s);
+  }
+  return sleds;
+}
+
+// Replica of the pre-index readahead planner: extend the run one Contains
+// probe at a time.
+int64_t NaivePlanRun(const PageCache& cache, FileId fid, int64_t page, int64_t window,
+                     int64_t file_pages) {
+  int64_t run = 1;
+  while (run < window && page + run < file_pages && !cache.Contains({fid, page + run})) {
+    ++run;
+  }
+  return run;
+}
+
+int64_t IndexedPlanRun(const PageCache& cache, FileId fid, int64_t page, int64_t window,
+                       int64_t file_pages) {
+  int64_t run = std::min(window, file_pages - page);
+  if (const auto next = cache.NextResidentRun(fid, page + 1); next.has_value()) {
+    run = std::min(run, next->first - page);
+  }
+  return std::max<int64_t>(run, 1);
+}
+
+struct MicroResult {
+  double naive_us = 0;
+  double indexed_us = 0;
+  double speedup() const { return indexed_us > 0 ? naive_us / indexed_us : 0; }
+};
+
+// Sparse-file FSLEDS_GET: 32768 pages (128 MiB), half resident in 128-page
+// stripes — a sparsely cached file whose scan is ~256 runs vs 32768 pages.
+MicroResult MeasureSledsGet() {
+  constexpr int64_t kPages = 32768;
+  KernelFixture fx(kPages, /*stripe_period=*/256, /*stripe_len=*/128);
+  const OpenFile* of = fx.proc->FindFd(fx.fd);
+  const uint32_t fs_id = of->fs_id;
+  const InodeNum ino = of->ino;
+  const FileId fid = of->fid;
+  // Sanity: the two scans must agree before timing them.
+  const SledVector naive = NaiveSledsGet(*fx.kernel, fs_id, ino, fid);
+  const SledVector indexed = fx.kernel->IoctlSledsGet(*fx.proc, fx.fd).value();
+  SLED_CHECK(naive.size() == indexed.size(), "sled count mismatch: %zu vs %zu", naive.size(),
+             indexed.size());
+  for (size_t i = 0; i < naive.size(); ++i) {
+    SLED_CHECK(naive[i].offset == indexed[i].offset && naive[i].length == indexed[i].length &&
+                   naive[i].level == indexed[i].level,
+               "sled %zu mismatch", i);
+  }
+  MicroResult r;
+  r.naive_us = BestWallMicros(15, [&] {
+    benchmark::DoNotOptimize(NaiveSledsGet(*fx.kernel, fs_id, ino, fid));
+  });
+  r.indexed_us = BestWallMicros(15, [&] {
+    benchmark::DoNotOptimize(fx.kernel->IoctlSledsGet(*fx.proc, fx.fd).value());
+  });
+  return r;
+}
+
+// Readahead planning across every miss page of a striped cache.
+MicroResult MeasurePlanRun() {
+  constexpr int64_t kPages = 1 << 17;
+  constexpr int64_t kWindow = 32;
+  constexpr FileId kFid = 7;
+  PageCache cache({.capacity_pages = kPages});
+  for (int64_t page = 0; page < kPages; page += 16) {
+    for (int64_t q = page; q < page + 8; ++q) {
+      cache.Insert({kFid, q}, false);
+    }
+  }
+  auto sweep = [&](auto&& plan) {
+    int64_t total = 0;
+    for (int64_t page = 8; page < kPages; page += 16) {
+      total += plan(cache, kFid, page, kWindow, kPages);  // pages 8..15 missed
+    }
+    return total;
+  };
+  SLED_CHECK(sweep(NaivePlanRun) == sweep(IndexedPlanRun), "plan-run sweep mismatch");
+  MicroResult r;
+  r.naive_us = BestWallMicros(15, [&] { benchmark::DoNotOptimize(sweep(NaivePlanRun)); });
+  r.indexed_us = BestWallMicros(15, [&] { benchmark::DoNotOptimize(sweep(IndexedPlanRun)); });
+  return r;
+}
+
+// Writeback flush lookup: AllDirtyPages over 100k resident pages with a
+// sparse dirty set, vs the old full-cache scan (replicated on a mirror map).
+MicroResult MeasureAllDirty() {
+  constexpr int64_t kFiles = 10;
+  constexpr int64_t kPagesPerFile = 10000;
+  PageCache cache({.capacity_pages = kFiles * kPagesPerFile});
+  std::unordered_map<PageKey, bool, PageKeyHash> mirror;
+  for (int64_t f = 1; f <= kFiles; ++f) {
+    for (int64_t page = 0; page < kPagesPerFile; ++page) {
+      const bool dirty = page % 64 == 0;
+      cache.Insert({static_cast<FileId>(f), page}, dirty);
+      mirror[{static_cast<FileId>(f), page}] = dirty;
+    }
+  }
+  auto naive_all_dirty = [&] {
+    std::vector<PageKey> out;
+    for (const auto& [key, dirty] : mirror) {
+      if (dirty) {
+        out.push_back(key);
+      }
+    }
+    std::sort(out.begin(), out.end(), [](const PageKey& a, const PageKey& b) {
+      return a.file != b.file ? a.file < b.file : a.page < b.page;
+    });
+    return out;
+  };
+  SLED_CHECK(naive_all_dirty() == cache.AllDirtyPages(), "dirty-set mismatch");
+  MicroResult r;
+  r.naive_us = BestWallMicros(15, [&] { benchmark::DoNotOptimize(naive_all_dirty()); });
+  r.indexed_us = BestWallMicros(15, [&] { benchmark::DoNotOptimize(cache.AllDirtyPages()); });
+  return r;
+}
+
+void RunWallClockSuite() {
+  const MicroResult sleds = MeasureSledsGet();
+  const MicroResult plan = MeasurePlanRun();
+  const MicroResult dirty = MeasureAllDirty();
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"sleds_get_sparse_32768p\": "
+      "{\"naive_us\": %.1f, \"indexed_us\": %.1f, \"speedup\": %.2f},\n"
+      "  \"readahead_plan_sweep\": "
+      "{\"naive_us\": %.1f, \"indexed_us\": %.1f, \"speedup\": %.2f},\n"
+      "  \"all_dirty_pages_100k\": "
+      "{\"naive_us\": %.1f, \"indexed_us\": %.1f, \"speedup\": %.2f}\n"
+      "}",
+      sleds.naive_us, sleds.indexed_us, sleds.speedup(), plan.naive_us, plan.indexed_us,
+      plan.speedup(), dirty.naive_us, dirty.indexed_us, dirty.speedup());
+  PrintBenchMetrics("micro", json);
+}
+
 }  // namespace
 }  // namespace sled
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sled::RunWallClockSuite();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

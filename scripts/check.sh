@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a sanitizer pass over the test suite.
+# Tier-1 gate, a Release perf smoke over the wall-clock microbench suite, and
+# a sanitizer pass over the test suite.
 #
-#   scripts/check.sh            # configure + build + ctest, then ASan+UBSan ctest
-#   SKIP_SAN=1 scripts/check.sh # tier-1 only
+#   scripts/check.sh             # tier-1, perf smoke, ASan+UBSan ctest
+#   SKIP_SAN=1 scripts/check.sh  # skip the sanitizer pass
+#   SKIP_PERF=1 scripts/check.sh # skip the perf smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +12,17 @@ echo "==== tier-1: configure + build + ctest ===="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+if [[ "${SKIP_PERF:-}" == "1" ]]; then
+  echo "==== perf smoke skipped (SKIP_PERF=1) ===="
+else
+  echo "==== perf smoke: Release bench_micro wall-clock suite ===="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-release -j --target bench_micro
+  # Fails the gate on crash or hang; the emitted BENCH_micro.json reports the
+  # run-indexed vs naive speedups.
+  timeout 300 ./build-release/bench/bench_micro --benchmark_filter='BM_PageCacheTouchHit'
+fi
 
 if [[ "${SKIP_SAN:-}" == "1" ]]; then
   echo "==== sanitizer pass skipped (SKIP_SAN=1) ===="

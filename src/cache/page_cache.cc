@@ -1,6 +1,7 @@
 #include "src/cache/page_cache.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace sled {
 
@@ -23,11 +24,73 @@ bool PageCache::Touch(PageKey key) {
   return true;
 }
 
+void PageCache::IndexInsert(FileId file, int64_t page) {
+  FileIndex& fi = index_[file];
+  auto next = fi.runs.lower_bound(page);
+  SLED_CHECK(next == fi.runs.end() || next->first != page, "index already holds page");
+  bool merge_left = false;
+  auto prev = fi.runs.end();
+  if (next != fi.runs.begin()) {
+    prev = std::prev(next);
+    SLED_CHECK(prev->first + prev->second <= page, "index run overlaps inserted page");
+    merge_left = prev->first + prev->second == page;
+  }
+  const bool merge_right = next != fi.runs.end() && next->first == page + 1;
+  if (merge_left && merge_right) {
+    prev->second += 1 + next->second;
+    fi.runs.erase(next);
+  } else if (merge_left) {
+    prev->second += 1;
+  } else if (merge_right) {
+    const int64_t count = next->second + 1;
+    fi.runs.erase(next);
+    fi.runs.emplace(page, count);
+  } else {
+    fi.runs.emplace(page, 1);
+  }
+}
+
+void PageCache::IndexRemove(FileId file, int64_t page) {
+  auto fit = index_.find(file);
+  SLED_CHECK(fit != index_.end(), "index missing file on remove");
+  FileIndex& fi = fit->second;
+  auto it = fi.runs.upper_bound(page);
+  SLED_CHECK(it != fi.runs.begin(), "index missing page on remove");
+  --it;
+  const int64_t first = it->first;
+  const int64_t count = it->second;
+  SLED_CHECK(page >= first && page < first + count, "index missing page on remove");
+  fi.runs.erase(it);
+  if (page > first) {
+    fi.runs.emplace(first, page - first);
+  }
+  if (page + 1 < first + count) {
+    fi.runs.emplace(page + 1, first + count - page - 1);
+  }
+  fi.dirty.erase(page);
+  if (fi.runs.empty()) {
+    index_.erase(fit);
+  }
+}
+
+void PageCache::DropEntry(const PageKey& key) {
+  auto it = entries_.find(key);
+  SLED_CHECK(it != entries_.end(), "dropping non-resident page");
+  if (it->second.pinned) {
+    --pinned_;
+  }
+  order_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
 std::optional<EvictedPage> PageCache::Insert(PageKey key, bool dirty) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Re-insert of a resident page: refresh recency, accumulate dirtiness.
     it->second.dirty = it->second.dirty || dirty;
+    if (dirty) {
+      index_[key.file].dirty.insert(key.page);
+    }
     if (config_.policy == ReplacementPolicy::kLru) {
       order_.splice(order_.end(), order_, it->second.lru_it);
     } else {
@@ -46,6 +109,10 @@ std::optional<EvictedPage> PageCache::Insert(PageKey key, bool dirty) {
   entry.dirty = dirty;
   entry.referenced = false;  // Clock inserts behind the hand, one sweep to live
   entries_.emplace(key, entry);
+  IndexInsert(key.file, key.page);
+  if (dirty) {
+    index_[key.file].dirty.insert(key.page);
+  }
   ++stats_.insertions;
   return evicted;
 }
@@ -77,6 +144,7 @@ EvictedPage PageCache::EvictOne() {
       EvictedPage evicted{victim, entry_it->second.dirty};
       order_.erase(it);
       entries_.erase(entry_it);
+      IndexRemove(victim.file, victim.page);
       ++stats_.evictions;
       if (evicted.dirty) {
         ++stats_.dirty_evictions;
@@ -117,6 +185,7 @@ void PageCache::MarkDirty(PageKey key) {
   auto it = entries_.find(key);
   SLED_CHECK(it != entries_.end(), "MarkDirty on non-resident page");
   it->second.dirty = true;
+  index_[key.file].dirty.insert(key.page);
 }
 
 bool PageCache::IsDirty(PageKey key) const {
@@ -125,58 +194,155 @@ bool PageCache::IsDirty(PageKey key) const {
 }
 
 void PageCache::Remove(PageKey key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  if (!entries_.contains(key)) {
     return;
   }
-  if (it->second.pinned) {
-    --pinned_;
-  }
-  order_.erase(it->second.lru_it);
-  entries_.erase(it);
+  DropEntry(key);
+  IndexRemove(key.file, key.page);
 }
 
 void PageCache::RemoveFile(FileId file) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->first.file == file) {
-      if (it->second.pinned) {
-        --pinned_;
-      }
-      order_.erase(it->second.lru_it);
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  auto fit = index_.find(file);
+  if (fit == index_.end()) {
+    return;
+  }
+  for (const auto& [first, count] : fit->second.runs) {
+    for (int64_t page = first; page < first + count; ++page) {
+      DropEntry({file, page});
     }
   }
+  index_.erase(fit);
+}
+
+void PageCache::RemovePagesFrom(FileId file, int64_t first_page) {
+  auto fit = index_.find(file);
+  if (fit == index_.end()) {
+    return;
+  }
+  FileIndex& fi = fit->second;
+  auto it = fi.runs.lower_bound(first_page);
+  // A run straddling first_page keeps its head and loses its tail.
+  if (it != fi.runs.begin()) {
+    auto prev = std::prev(it);
+    const int64_t prev_end = prev->first + prev->second;
+    if (prev_end > first_page) {
+      for (int64_t page = first_page; page < prev_end; ++page) {
+        DropEntry({file, page});
+      }
+      prev->second = first_page - prev->first;
+    }
+  }
+  while (it != fi.runs.end()) {
+    for (int64_t page = it->first; page < it->first + it->second; ++page) {
+      DropEntry({file, page});
+    }
+    it = fi.runs.erase(it);
+  }
+  fi.dirty.erase(fi.dirty.lower_bound(first_page), fi.dirty.end());
+  if (fi.runs.empty()) {
+    index_.erase(fit);
+  }
+}
+
+int64_t PageCache::NextMissAfter(FileId file, int64_t page) const {
+  if (auto run = ResidentRunAt(file, page); run.has_value()) {
+    return run->end();  // runs are maximal: the page past the run is a miss
+  }
+  return page;
+}
+
+std::optional<PageRun> PageCache::ResidentRunAt(FileId file, int64_t page) const {
+  auto fit = index_.find(file);
+  if (fit == index_.end()) {
+    return std::nullopt;
+  }
+  const auto& runs = fit->second.runs;
+  auto it = runs.upper_bound(page);
+  if (it == runs.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  if (page >= it->first + it->second) {
+    return std::nullopt;
+  }
+  return PageRun{it->first, it->second};
+}
+
+std::optional<PageRun> PageCache::NextResidentRun(FileId file, int64_t from) const {
+  auto fit = index_.find(file);
+  if (fit == index_.end()) {
+    return std::nullopt;
+  }
+  const auto& runs = fit->second.runs;
+  auto it = runs.upper_bound(from);
+  if (it != runs.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second > from) {
+      return PageRun{prev->first, prev->second};
+    }
+  }
+  if (it == runs.end()) {
+    return std::nullopt;
+  }
+  return PageRun{it->first, it->second};
+}
+
+std::vector<PageRun> PageCache::ResidentRunsOf(FileId file) const {
+  std::vector<PageRun> runs;
+  auto fit = index_.find(file);
+  if (fit == index_.end()) {
+    return runs;
+  }
+  runs.reserve(fit->second.runs.size());
+  for (const auto& [first, count] : fit->second.runs) {
+    runs.push_back(PageRun{first, count});
+  }
+  return runs;
+}
+
+int64_t PageCache::ResidentRunCountOf(FileId file) const {
+  auto fit = index_.find(file);
+  return fit == index_.end() ? 0 : static_cast<int64_t>(fit->second.runs.size());
 }
 
 std::vector<PageKey> PageCache::DirtyPagesOf(FileId file) const {
   std::vector<PageKey> dirty;
-  for (const auto& [key, entry] : entries_) {
-    if (key.file == file && entry.dirty) {
-      dirty.push_back(key);
-    }
+  auto fit = index_.find(file);
+  if (fit == index_.end()) {
+    return dirty;
   }
-  std::sort(dirty.begin(), dirty.end(),
-            [](const PageKey& a, const PageKey& b) { return a.page < b.page; });
+  dirty.reserve(fit->second.dirty.size());
+  for (int64_t page : fit->second.dirty) {
+    dirty.push_back({file, page});
+  }
   return dirty;
 }
 
 std::vector<PageKey> PageCache::AllDirtyPages() const {
-  std::vector<PageKey> dirty;
-  for (const auto& [key, entry] : entries_) {
-    if (entry.dirty) {
-      dirty.push_back(key);
+  // (file, page) order without touching clean entries: visit the files with
+  // dirty pages in id order, then each ordered dirty set.
+  std::vector<FileId> files;
+  size_t total = 0;
+  for (const auto& [file, fi] : index_) {
+    if (!fi.dirty.empty()) {
+      files.push_back(file);
+      total += fi.dirty.size();
     }
   }
-  std::sort(dirty.begin(), dirty.end(), [](const PageKey& a, const PageKey& b) {
-    return a.file != b.file ? a.file < b.file : a.page < b.page;
-  });
+  std::sort(files.begin(), files.end());
+  std::vector<PageKey> dirty;
+  dirty.reserve(total);
+  for (FileId file : files) {
+    for (int64_t page : index_.at(file).dirty) {
+      dirty.push_back({file, page});
+    }
+  }
   return dirty;
 }
 
 void PageCache::Clear() {
   entries_.clear();
+  index_.clear();
   order_.clear();
   pinned_ = 0;
 }
@@ -185,17 +351,52 @@ void PageCache::MarkClean(PageKey key) {
   auto it = entries_.find(key);
   SLED_CHECK(it != entries_.end(), "MarkClean on non-resident page");
   it->second.dirty = false;
+  auto fit = index_.find(key.file);
+  SLED_CHECK(fit != index_.end(), "index missing file on MarkClean");
+  fit->second.dirty.erase(key.page);
 }
 
 std::vector<int64_t> PageCache::ResidentPagesOf(FileId file) const {
   std::vector<int64_t> pages;
-  for (const auto& [key, entry] : entries_) {
-    if (key.file == file) {
-      pages.push_back(key.page);
+  auto fit = index_.find(file);
+  if (fit == index_.end()) {
+    return pages;
+  }
+  for (const auto& [first, count] : fit->second.runs) {
+    for (int64_t page = first; page < first + count; ++page) {
+      pages.push_back(page);
     }
   }
-  std::sort(pages.begin(), pages.end());
   return pages;
+}
+
+bool PageCache::ValidateIndex() const {
+  size_t indexed_pages = 0;
+  for (const auto& [file, fi] : index_) {
+    if (fi.runs.empty()) {
+      return false;  // empty FileIndex entries must be garbage-collected
+    }
+    int64_t prev_end = std::numeric_limits<int64_t>::min();
+    for (const auto& [first, count] : fi.runs) {
+      if (count <= 0 || first <= prev_end) {
+        return false;  // runs must be non-empty, ordered, and non-adjacent
+      }
+      prev_end = first + count;
+      for (int64_t page = first; page < first + count; ++page) {
+        auto it = entries_.find({file, page});
+        if (it == entries_.end() || it->second.dirty != fi.dirty.contains(page)) {
+          return false;
+        }
+        ++indexed_pages;
+      }
+    }
+    for (int64_t page : fi.dirty) {
+      if (!ResidentRunAt(file, page).has_value()) {
+        return false;  // dirty pages must be resident
+      }
+    }
+  }
+  return indexed_pages == entries_.size();
 }
 
 }  // namespace sled

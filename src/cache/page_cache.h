@@ -8,13 +8,22 @@
 // The cache tracks residency and dirtiness only; page *contents* live in the
 // file systems' backing stores (this is a performance simulation, the data
 // plane is handled by the FS layer).
+//
+// Alongside the (file, page) hash map, the cache maintains a per-file
+// *residency index*: the ordered maximal runs of contiguous resident pages
+// plus an ordered per-file dirty set. Per-file questions — "where is the
+// next miss?", "which runs are cached?", "which pages are dirty?" — are
+// answered from the index in O(log runs) / O(file entries) instead of
+// probing every page or scanning the whole cache (see DESIGN.md §6).
 #ifndef SLEDS_SRC_CACHE_PAGE_CACHE_H_
 #define SLEDS_SRC_CACHE_PAGE_CACHE_H_
 
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -65,6 +74,19 @@ struct PageCacheStats {
 struct EvictedPage {
   PageKey key;
   bool dirty = false;
+
+  friend bool operator==(const EvictedPage&, const EvictedPage&) = default;
+};
+
+// A maximal run of contiguous resident pages of one file: pages
+// [first, first + count) are all resident, first - 1 and first + count are
+// not.
+struct PageRun {
+  int64_t first = 0;
+  int64_t count = 0;
+
+  int64_t end() const { return first + count; }
+  friend bool operator==(const PageRun&, const PageRun&) = default;
 };
 
 class PageCache {
@@ -102,9 +124,34 @@ class PageCache {
   int64_t pinned_pages() const { return pinned_; }
 
   // Drop a page / every page of a file (truncate, unlink). Dirty contents are
-  // discarded — callers flush first if the data matters.
+  // discarded — callers flush first if the data matters. RemoveFile and
+  // RemovePagesFrom walk the file's residency index, not the global map.
   void Remove(PageKey key);
   void RemoveFile(FileId file);
+  // Drop every resident page of `file` with index >= first_page (truncate).
+  void RemovePagesFrom(FileId file, int64_t first_page);
+
+  // ---- run-oriented residency queries (the SLED-scan substrate) ----
+  // All of these read the per-file ordered residency index and never perturb
+  // replacement state; costs are O(log runs) rather than O(pages).
+  //
+  // First non-resident page of `file` at or after `page`.
+  int64_t NextMissAfter(FileId file, int64_t page) const;
+  // The maximal resident run containing `page`, or nullopt if not resident.
+  std::optional<PageRun> ResidentRunAt(FileId file, int64_t page) const;
+  // The first maximal resident run containing or following `from` (i.e. the
+  // first run with end() > from), or nullopt if none. The returned run is
+  // *not* clipped: its first page may precede `from`.
+  std::optional<PageRun> NextResidentRun(FileId file, int64_t from) const;
+  // Every maximal resident run of `file`, in page order.
+  std::vector<PageRun> ResidentRunsOf(FileId file) const;
+  // Number of maximal resident runs of `file` (SledVector sizing).
+  int64_t ResidentRunCountOf(FileId file) const;
+
+  // Full consistency audit of the residency index against the entry map:
+  // runs are maximal/disjoint/ordered, cover exactly the resident pages, and
+  // the per-file dirty sets mirror the entry dirty bits. O(n); test support.
+  bool ValidateIndex() const;
 
   // Dirty pages of one file, in page order (fsync support).
   std::vector<PageKey> DirtyPagesOf(FileId file) const;
@@ -132,11 +179,29 @@ class PageCache {
     bool pinned = false;      // exempt from eviction (SLED lock)
   };
 
+  // Per-file ordered residency index: the maximal resident runs (first page
+  // -> length) plus the ordered set of dirty pages. Kept incrementally in
+  // sync with `entries_` by every mutation; files with no resident pages
+  // have no FileIndex.
+  struct FileIndex {
+    std::map<int64_t, int64_t> runs;  // first page -> run length
+    std::set<int64_t> dirty;
+  };
+
   // Pick and remove a victim according to the policy. Requires non-empty.
   EvictedPage EvictOne();
 
+  // Index maintenance. IndexInsert requires `page` non-resident beforehand;
+  // IndexRemove requires it resident.
+  void IndexInsert(FileId file, int64_t page);
+  void IndexRemove(FileId file, int64_t page);
+  // Remove `key` from entries_/order_/pin accounting only; the caller fixes
+  // the index (bulk paths that drop whole runs at once).
+  void DropEntry(const PageKey& key);
+
   PageCacheConfig config_;
   std::unordered_map<PageKey, Entry, PageKeyHash> entries_;
+  std::unordered_map<FileId, FileIndex> index_;
   // kLru: recency list, least-recently-used at front.
   // kClock: FIFO ring; entries get a second chance via `referenced`.
   std::list<PageKey> order_;

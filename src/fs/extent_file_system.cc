@@ -42,6 +42,14 @@ int ExtentFileSystem::LevelOf(InodeNum ino, int64_t page) const {
   return std::min(zone, num_zones_ - 1);
 }
 
+int64_t ExtentFileSystem::LevelRunLen(InodeNum ino, int64_t page, int64_t max_pages) const {
+  if (zoned_ == nullptr) {
+    return max_pages;  // single level: every page of the device matches
+  }
+  // Zoned layout: the level follows the extent map; fall back to probing.
+  return FileSystem::LevelRunLen(ino, page, max_pages);
+}
+
 std::vector<StorageLevelInfo> ExtentFileSystem::Levels() const {
   if (zoned_ == nullptr) {
     return {{std::string(device_->name()), device_->Nominal()}};

@@ -29,6 +29,7 @@ class ExtentFileSystem : public FileSystem {
                                       int64_t count) override;
   Result<Duration> WritePagesToStore(InodeNum ino, int64_t first_page, int64_t count) override;
   int LevelOf(InodeNum ino, int64_t page) const override;
+  int64_t LevelRunLen(InodeNum ino, int64_t page, int64_t max_pages) const override;
   std::vector<StorageLevelInfo> Levels() const override;
 
   void AttachObserver(Observer* obs) override {

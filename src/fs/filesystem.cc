@@ -22,6 +22,15 @@ FileSystem::FileSystem(std::string name) : name_(std::move(name)) {
 
 Result<void> FileSystem::CheckWritable() const { return Result<void>::Ok(); }
 
+int64_t FileSystem::LevelRunLen(InodeNum ino, int64_t page, int64_t max_pages) const {
+  const int level = LevelOf(ino, page);
+  int64_t n = 1;
+  while (n < max_pages && LevelOf(ino, page + n) == level) {
+    ++n;
+  }
+  return n;
+}
+
 Result<const FileSystem::Inode*> FileSystem::FindInode(InodeNum ino) const {
   auto it = inodes_.find(ino);
   if (it == inodes_.end()) {

@@ -100,6 +100,12 @@ class FileSystem {
                                              int64_t count) = 0;
   // Index (into Levels()) of the storage level currently holding this page.
   virtual int LevelOf(InodeNum ino, int64_t page) const = 0;
+  // Number of consecutive pages starting at `page` (at least 1, at most
+  // `max_pages`) whose LevelOf equals LevelOf(ino, page). Semantically
+  // identical to probing LevelOf page by page; concrete file systems whose
+  // geometry makes the answer O(1) override it so the kernel SLED scan costs
+  // O(level runs) wall-clock instead of O(pages).
+  virtual int64_t LevelRunLen(InodeNum ino, int64_t page, int64_t max_pages) const;
   virtual std::vector<StorageLevelInfo> Levels() const = 0;
 
   // Attach the kernel's observability sink. Concrete file systems forward

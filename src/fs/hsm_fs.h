@@ -56,6 +56,10 @@ class HsmFs final : public FileSystem {
   Result<Duration> ReadPagesFromStore(InodeNum ino, int64_t first_page, int64_t count) override;
   Result<Duration> WritePagesToStore(InodeNum ino, int64_t first_page, int64_t count) override;
   int LevelOf(InodeNum ino, int64_t page) const override;
+  // A file is staged or on tape as a whole: its level is page-independent.
+  int64_t LevelRunLen(InodeNum /*ino*/, int64_t /*page*/, int64_t max_pages) const override {
+    return max_pages;
+  }
   std::vector<StorageLevelInfo> Levels() const override;
 
   // ---- HSM management ----

@@ -72,6 +72,17 @@ bool RemoteServer::IsCached(InodeNum ino, int64_t page) const {
   return cache_.Contains({static_cast<FileId>(ino), page});
 }
 
+int64_t RemoteServer::CachedRunLen(InodeNum ino, int64_t page, int64_t max_pages) const {
+  const auto run = cache_.NextResidentRun(static_cast<FileId>(ino), page);
+  if (!run.has_value()) {
+    return max_pages;  // nothing cached at or after `page`
+  }
+  if (run->first <= page) {
+    return std::min(max_pages, run->end() - page);  // inside a cached run
+  }
+  return std::min(max_pages, run->first - page);  // uncached gap before the run
+}
+
 Result<void> RemoteServer::Resize(InodeNum ino, int64_t new_size) {
   if (new_size == 0) {
     Free(ino);

@@ -56,6 +56,9 @@ class RemoteServer {
   // Is this page in the server's cache right now? (The SLEDs-over-the-wire
   // query; costs one RPC, amortized by the client asking per file.)
   bool IsCached(InodeNum ino, int64_t page) const;
+  // Pages starting at `page` (at most max_pages) that share page's cached /
+  // not-cached answer, read from the server cache's residency index.
+  int64_t CachedRunLen(InodeNum ino, int64_t page, int64_t max_pages) const;
 
   Result<void> Resize(InodeNum ino, int64_t new_size);
   void Free(InodeNum ino);
@@ -81,6 +84,9 @@ class RemoteFs final : public FileSystem {
   Result<Duration> ReadPagesFromStore(InodeNum ino, int64_t first_page, int64_t count) override;
   Result<Duration> WritePagesToStore(InodeNum ino, int64_t first_page, int64_t count) override;
   int LevelOf(InodeNum ino, int64_t page) const override;
+  int64_t LevelRunLen(InodeNum ino, int64_t page, int64_t max_pages) const override {
+    return server_.CachedRunLen(ino, page, max_pages);
+  }
   std::vector<StorageLevelInfo> Levels() const override;
 
   RemoteServer& server() { return server_; }

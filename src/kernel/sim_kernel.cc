@@ -177,12 +177,14 @@ int64_t SimKernel::PlanReadaheadRun(OpenFile& of, int64_t page, int64_t file_pag
   } else {
     of.readahead_window = config_.min_readahead_pages;
   }
-  int64_t run = 1;
-  while (run < of.readahead_window && page + run < file_pages &&
-         !cache_.Contains({of.fid, page + run})) {
-    ++run;
+  // The run extends to the window edge, EOF, or the next resident page —
+  // whichever comes first. `page` itself missed, so no run covers it and the
+  // next resident run (if any) starts strictly after `page`.
+  int64_t run = std::min<int64_t>(of.readahead_window, file_pages - page);
+  if (const auto next = cache_.NextResidentRun(of.fid, page + 1); next.has_value()) {
+    run = std::min(run, next->first - page);
   }
-  return run;
+  return std::max<int64_t>(run, 1);
 }
 
 Result<int64_t> SimKernel::Read(Process& p, int fd, std::span<char> dst) {
@@ -202,6 +204,9 @@ Result<int64_t> SimKernel::Read(Process& p, int fd, std::span<char> dst) {
   const int64_t file_pages = PagesFor(size);
   const int64_t first = of->offset / kPageSize;
   const int64_t last = (of->offset + n - 1) / kPageSize;
+  const int64_t read_end = of->offset + n;
+  const Duration mem_latency = SecondsF(config_.memory.latency.ToSeconds());
+  const double mem_bw = config_.memory.bandwidth_bps;
   for (int64_t page = first; page <= last; ++page) {
     const PageKey key{of->fid, page};
     if (!cache_.Touch(key)) {
@@ -215,9 +220,8 @@ Result<int64_t> SimKernel::Read(Process& p, int fd, std::span<char> dst) {
     }
     // Copy the consumed bytes of this page to user space.
     const int64_t page_lo = std::max(of->offset, page * kPageSize);
-    const int64_t page_hi = std::min(of->offset + n, (page + 1) * kPageSize);
-    ChargeCpu(p, SecondsF(config_.memory.latency.ToSeconds()) +
-                     TransferTime(page_hi - page_lo, config_.memory.bandwidth_bps));
+    const int64_t page_hi = std::min(read_end, (page + 1) * kPageSize);
+    ChargeCpu(p, mem_latency + TransferTime(page_hi - page_lo, mem_bw));
   }
   of->offset += n;
   p.stats().bytes_read += n;
@@ -272,11 +276,14 @@ Result<int64_t> SimKernel::Write(Process& p, int fd, std::span<const char> src) 
 
   const int64_t first = of->offset / kPageSize;
   const int64_t last = (of->offset + n - 1) / kPageSize;
+  const int64_t write_end = of->offset + n;
+  const Duration mem_latency = SecondsF(config_.memory.latency.ToSeconds());
+  const double mem_bw = config_.memory.bandwidth_bps;
   for (int64_t page = first; page <= last; ++page) {
     const PageKey key{of->fid, page};
     const int64_t page_lo = page * kPageSize;
     const int64_t page_hi = (page + 1) * kPageSize;
-    const bool full_cover = of->offset <= page_lo && of->offset + n >= page_hi;
+    const bool full_cover = of->offset <= page_lo && write_end >= page_hi;
     const bool beyond_old_eof = page_lo >= old_size;
     if (!full_cover && !beyond_old_eof && !cache_.Contains(key)) {
       // Read-modify-write of a non-resident partial page.
@@ -287,9 +294,8 @@ Result<int64_t> SimKernel::Write(Process& p, int fd, std::span<const char> src) 
       QueueWriteback(&p, evicted->key);
     }
     const int64_t copy_lo = std::max(of->offset, page_lo);
-    const int64_t copy_hi = std::min(of->offset + n, page_hi);
-    ChargeCpu(p, SecondsF(config_.memory.latency.ToSeconds()) +
-                     TransferTime(copy_hi - copy_lo, config_.memory.bandwidth_bps));
+    const int64_t copy_hi = std::min(write_end, page_hi);
+    ChargeCpu(p, mem_latency + TransferTime(copy_hi - copy_lo, mem_bw));
   }
   of->offset += n;
   p.stats().bytes_written += n;
@@ -352,11 +358,7 @@ Result<void> SimKernel::Ftruncate(Process& p, int fd, int64_t size) {
   FileSystem* fs = FsOf(*of);
   SLED_RETURN_IF_ERROR(fs->Truncate(of->ino, size));
   const int64_t first_dropped = PagesFor(size);
-  for (int64_t page : cache_.ResidentPagesOf(of->fid)) {
-    if (page >= first_dropped) {
-      cache_.Remove({of->fid, page});
-    }
-  }
+  cache_.RemovePagesFrom(of->fid, first_dropped);
   const FileId fid = of->fid;
   std::erase_if(writeback_queue_,
                 [fid, first_dropped](const PageKey& k) {
@@ -463,37 +465,98 @@ Result<void> SimKernel::IoctlSledsFill(Process& p, int level, DeviceCharacterist
   return sleds_table_.Fill(level, chars);
 }
 
+// The scan is O(residency runs + level runs), not O(pages): resident stretches
+// come straight from the cache's ordered index and non-resident stretches ask
+// the file system for the length of each uniform-level run. The *simulated*
+// charge stays sled_scan_per_page per page scanned, and the emitted vector is
+// identical to a page-at-a-time scan (segments merge on equal level; a
+// segment's byte length is min(end_page * kPageSize, size) - start byte).
+Result<SledVector> SimKernel::BuildSleds(Process& p, const OpenFile& of, int64_t first_page,
+                                         int64_t end_page, int64_t size) {
+  FileSystem* fs = FsOf(of);
+  const int64_t npages = end_page - first_page;
+  ChargeCpu(p, config_.costs.sled_scan_per_page * npages);
+
+  SledVector sleds;
+  sleds.reserve(static_cast<size_t>(2 * cache_.ResidentRunCountOf(of.fid) + 1));
+  // Local->global level lookups repeat for every run of the same level;
+  // memoizing is safe because pages are visited in ascending order, so an
+  // unregistered level still fails on its first (lowest) page.
+  std::vector<int> global_of_local;
+  auto append = [&](int64_t from_page, int64_t to_page, int level) {
+    const int64_t bytes = std::min(to_page * kPageSize, size) - from_page * kPageSize;
+    if (!sleds.empty() && sleds.back().level == level) {
+      sleds.back().length += bytes;
+      return;
+    }
+    const SledsTable::Row& row = sleds_table_.row(level);
+    Sled s;
+    s.offset = from_page * kPageSize;
+    s.length = bytes;
+    s.latency = row.chars.latency.ToSeconds();
+    s.bandwidth = row.chars.bandwidth_bps;
+    s.level = level;
+    sleds.push_back(s);
+  };
+  int64_t page = first_page;
+  while (page < end_page) {
+    const auto run = cache_.NextResidentRun(of.fid, page);
+    if (run.has_value() && run->first <= page) {
+      // Resident stretch: one memory-level segment to the run's end.
+      const int64_t to = std::min(run->end(), end_page);
+      append(page, to, kMemoryLevel);
+      page = to;
+      continue;
+    }
+    // Non-resident stretch up to the next resident run (or the scan end):
+    // walk it a level-run at a time.
+    const int64_t miss_end = run.has_value() ? std::min(run->first, end_page) : end_page;
+    while (page < miss_end) {
+      const int local = fs->LevelOf(of.ino, page);
+      int global = -1;
+      if (local >= 0 && static_cast<size_t>(local) < global_of_local.size()) {
+        global = global_of_local[static_cast<size_t>(local)];
+      }
+      if (global < 0) {
+        SLED_ASSIGN_OR_RETURN(global, sleds_table_.GlobalLevelOf(of.fs_id, local));
+        if (local >= 0) {
+          if (static_cast<size_t>(local) >= global_of_local.size()) {
+            global_of_local.resize(static_cast<size_t>(local) + 1, -1);
+          }
+          global_of_local[static_cast<size_t>(local)] = global;
+        }
+      }
+      int64_t len = fs->LevelRunLen(of.ino, page, miss_end - page);
+      len = std::max<int64_t>(1, std::min(len, miss_end - page));
+      append(page, page + len, global);
+      page += len;
+    }
+  }
+  obs_.SledScan(p.pid(), of.fid, npages, static_cast<int64_t>(sleds.size()));
+  return sleds;
+}
+
 Result<SledVector> SimKernel::IoctlSledsGet(Process& p, int fd) {
   SyscallScope sys(*this, p, "ioctl_sleds_get");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   FileSystem* fs = FsOf(*of);
   const int64_t size = fs->SizeOf(of->ino);
-  const int64_t npages = PagesFor(size);
-  ChargeCpu(p, config_.costs.sled_scan_per_page * npages);
-  obs_.SledScan(p.pid(), of->fid, npages);
+  return BuildSleds(p, *of, 0, PagesFor(size), size);
+}
 
-  SledVector sleds;
-  for (int64_t page = 0; page < npages; ++page) {
-    int level = kMemoryLevel;
-    if (!cache_.Contains({of->fid, page})) {
-      SLED_ASSIGN_OR_RETURN(level,
-                            sleds_table_.GlobalLevelOf(of->fs_id, fs->LevelOf(of->ino, page)));
-    }
-    const int64_t page_bytes = std::min(kPageSize, size - page * kPageSize);
-    if (!sleds.empty() && sleds.back().level == level) {
-      sleds.back().length += page_bytes;
-      continue;
-    }
-    const SledsTable::Row& row = sleds_table_.row(level);
-    Sled s;
-    s.offset = page * kPageSize;
-    s.length = page_bytes;
-    s.latency = row.chars.latency.ToSeconds();
-    s.bandwidth = row.chars.bandwidth_bps;
-    s.level = level;
-    sleds.push_back(s);
+Result<SledVector> SimKernel::IoctlSledsGet(Process& p, int fd, int64_t offset, int64_t length) {
+  SyscallScope sys(*this, p, "ioctl_sleds_get");
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  if (offset < 0 || length < 0) {
+    return Err::kInval;
   }
-  return sleds;
+  FileSystem* fs = FsOf(*of);
+  const int64_t size = fs->SizeOf(of->ino);
+  const int64_t npages = PagesFor(size);
+  const int64_t first = std::min(offset / kPageSize, npages);
+  const int64_t end =
+      length == 0 ? first : std::min((offset + length - 1) / kPageSize + 1, npages);
+  return BuildSleds(p, *of, first, std::max(first, end), size);
 }
 
 Result<int64_t> SimKernel::IoctlSledsLock(Process& p, int fd, int64_t offset, int64_t length) {
@@ -506,18 +569,29 @@ Result<int64_t> SimKernel::IoctlSledsLock(Process& p, int fd, int64_t offset, in
   const int64_t size = fs->SizeOf(of->ino);
   const int64_t first = offset / kPageSize;
   const int64_t last = std::min(PagesFor(size) - 1, (offset + length - 1) / kPageSize);
+  // Non-resident pages are skipped: a SLED lock freezes the *current* state;
+  // it does not promote data into the cache. Walking the residency index
+  // visits only resident pages, so the pinned set (and its order) matches a
+  // page-at-a-time probe.
   int64_t pinned = 0;
-  for (int64_t page = first; page <= last; ++page) {
-    const PageKey key{of->fid, page};
-    if (cache_.IsPinned(key)) {
-      continue;  // already locked (possibly by another descriptor)
+  int64_t page = first;
+  while (page <= last) {
+    const auto run = cache_.NextResidentRun(of->fid, page);
+    if (!run.has_value() || run->first > last) {
+      break;
     }
-    if (cache_.Pin(key)) {
-      of->locked_pages.push_back(page);
-      ++pinned;
+    const int64_t hi = std::min(run->end() - 1, last);
+    for (int64_t q = std::max(run->first, page); q <= hi; ++q) {
+      const PageKey key{of->fid, q};
+      if (cache_.IsPinned(key)) {
+        continue;  // already locked (possibly by another descriptor)
+      }
+      if (cache_.Pin(key)) {
+        of->locked_pages.push_back(q);
+        ++pinned;
+      }
     }
-    // Non-resident pages are skipped: a SLED lock freezes the *current*
-    // state; it does not promote data into the cache.
+    page = run->end();
   }
   ChargeCpu(p, config_.costs.sled_scan_per_page * (last - first + 1));
   return pinned;

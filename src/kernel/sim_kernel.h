@@ -97,8 +97,17 @@ class SimKernel {
   // ---- SLEDs ioctls (paper §4.1) ----
   // FSLEDS_FILL: install measured characteristics for a storage level.
   Result<void> IoctlSledsFill(Process& p, int level, DeviceCharacteristics chars);
-  // FSLEDS_GET: scan the open file's pages and return its SLED vector.
+  // FSLEDS_GET: scan the open file's pages and return its SLED vector. The
+  // scan walks the page cache's residency index and the file system's level
+  // runs, so its wall-clock cost is O(runs); the *simulated* CPU charge stays
+  // sled_scan_per_page * pages scanned, exactly as the paper's per-page VFS
+  // scan pays.
   Result<SledVector> IoctlSledsGet(Process& p, int fd);
+  // Ranged FSLEDS_GET: scan only the pages overlapping [offset,
+  // offset+length). Charges sled_scan_per_page per page actually scanned —
+  // this is what lets SledsPicker::Refresh() re-fetch just the not-yet-
+  // consumed part of its plan instead of re-paying for the whole file.
+  Result<SledVector> IoctlSledsGet(Process& p, int fd, int64_t offset, int64_t length);
   // FSLEDS_LOCK / FSLEDS_UNLOCK (paper §3.4's proposed lock/reservation
   // mechanism): pin the *currently resident* pages of [offset,
   // offset+length) so eviction cannot invalidate the low-latency SLEDs an
@@ -153,6 +162,11 @@ class SimKernel {
   // non-resident pages to fetch starting at `page`. Shared by Read and
   // MmapRead so the two paths cannot drift.
   int64_t PlanReadaheadRun(OpenFile& of, int64_t page, int64_t file_pages);
+
+  // Shared FSLEDS_GET body: charge the scan, build the SLED vector for pages
+  // [first_page, end_page) of the file, and record the scan event.
+  Result<SledVector> BuildSleds(Process& p, const OpenFile& of, int64_t first_page,
+                                int64_t end_page, int64_t size);
 
   // Writeback machinery.
   void QueueWriteback(Process* p, PageKey key);

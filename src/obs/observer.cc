@@ -160,14 +160,18 @@ void Observer::DeviceTransfer(std::string_view device, bool write, int64_t offse
   trace_.Push(std::move(e));
 }
 
-void Observer::SledScan(int pid, uint64_t file, int64_t pages) {
+void Observer::SledScan(int pid, uint64_t file, int64_t pages, int64_t runs) {
   metrics_.Add("kernel.sled_scans");
   metrics_.Add("kernel.sled_scan_pages", pages);
+  // Run-length accounting: how many SLED segments the scan produced. The
+  // pages/runs ratio is the fragmentation the run-indexed scan exploits.
+  metrics_.Add("kernel.sled_scan_runs", runs);
   TraceRecord e;
   e.at = clock_->Now();
   e.kind = TraceKind::kSledScan;
   e.pid = pid;
   e.file = file;
+  e.a = runs;
   e.b = pages;
   trace_.Push(std::move(e));
 }

@@ -49,7 +49,8 @@ class Observer {
   void WritebackFlush(int pid, int64_t pages, int64_t runs, Duration device_time);
   void DeviceTransfer(std::string_view device, bool write, int64_t offset, int64_t nbytes,
                       Duration service_time, bool repositioned);
-  void SledScan(int pid, uint64_t file, int64_t pages);
+  // `runs` = SLED segments the scan emitted (residency/level run count).
+  void SledScan(int pid, uint64_t file, int64_t pages, int64_t runs);
   void VfsResolve();
 
   // Combined export: the metric registry plus a trace summary block.

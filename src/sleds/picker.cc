@@ -45,9 +45,39 @@ Result<std::unique_ptr<SledsPicker>> SledsPicker::Create(SimKernel& kernel, Proc
 
 Result<SledVector> SledsPicker::FetchSleds(
     const std::vector<std::pair<int64_t, int64_t>>& ranges) {
-  SLED_ASSIGN_OR_RETURN(SledVector all, kernel_.IoctlSledsGet(process_, fd_));
   if (ranges.empty()) {
-    return all;
+    return kernel_.IoctlSledsGet(process_, fd_);
+  }
+  // Merge the requested ranges into disjoint intervals and issue one ranged
+  // FSLEDS_GET per interval. The kernel charges per page actually scanned, so
+  // a refresh pays for the not-yet-consumed part of the plan instead of
+  // re-scanning the whole file.
+  std::vector<std::pair<int64_t, int64_t>> merged(ranges);
+  std::sort(merged.begin(), merged.end());
+  size_t tail = 0;
+  for (size_t i = 1; i < merged.size(); ++i) {
+    if (merged[i].first <= merged[tail].second) {
+      merged[tail].second = std::max(merged[tail].second, merged[i].second);
+    } else {
+      merged[++tail] = merged[i];
+    }
+  }
+  merged.resize(tail + 1);
+  SledVector all;
+  for (const auto& [lo, hi] : merged) {
+    SLED_ASSIGN_OR_RETURN(SledVector part, kernel_.IoctlSledsGet(process_, fd_, lo, hi - lo));
+    // The ranged get returns whole pages; trim the page overhang so each
+    // SLED stays inside its own interval (intervals are disjoint, so a SLED
+    // can then only match this interval's ranges below).
+    for (Sled s : part) {
+      const int64_t begin = std::max(s.offset, lo);
+      const int64_t end = std::min(s.offset + s.length, hi);
+      if (begin < end) {
+        s.offset = begin;
+        s.length = end - begin;
+        all.push_back(s);
+      }
+    }
   }
   // Clip each SLED against the requested byte ranges.
   SledVector clipped;

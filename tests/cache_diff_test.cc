@@ -1,0 +1,344 @@
+// Randomized differential test: the run-indexed PageCache against a naive
+// reference model that replicates the pre-index implementation (recency list
+// plus flat hash map, with every query a full scan). Thousands of mixed
+// operations must produce identical residency, dirty sets, eviction victims,
+// pin results, and stats under both replacement policies, and the run-oriented
+// queries must agree with runs derived from the naive resident-page list.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/page_cache.h"
+#include "src/common/rng.h"
+
+namespace sled {
+namespace {
+
+// The old PageCache, kept deliberately simple: correctness oracle only.
+class NaiveCache {
+ public:
+  explicit NaiveCache(PageCacheConfig config) : config_(config) {}
+
+  bool Contains(PageKey key) const { return entries_.contains(key); }
+
+  bool Touch(PageKey key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return false;
+    }
+    ++stats_.hits;
+    if (config_.policy == ReplacementPolicy::kLru) {
+      order_.splice(order_.end(), order_, it->second.it);
+    } else {
+      it->second.referenced = true;
+    }
+    return true;
+  }
+
+  std::optional<EvictedPage> Insert(PageKey key, bool dirty) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.dirty = it->second.dirty || dirty;
+      if (config_.policy == ReplacementPolicy::kLru) {
+        order_.splice(order_.end(), order_, it->second.it);
+      } else {
+        it->second.referenced = true;
+      }
+      return std::nullopt;
+    }
+    std::optional<EvictedPage> evicted;
+    if (static_cast<int64_t>(entries_.size()) >= config_.capacity_pages) {
+      evicted = EvictOne();
+    }
+    order_.push_back(key);
+    entries_.emplace(key, Entry{std::prev(order_.end()), dirty, false, false});
+    ++stats_.insertions;
+    return evicted;
+  }
+
+  bool Pin(PageKey key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end() || pinned_ >= config_.capacity_pages / 2) {
+      return false;
+    }
+    if (!it->second.pinned) {
+      it->second.pinned = true;
+      ++pinned_;
+    }
+    return true;
+  }
+
+  void Unpin(PageKey key) {
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.pinned) {
+      it->second.pinned = false;
+      --pinned_;
+    }
+  }
+
+  bool IsPinned(PageKey key) const {
+    auto it = entries_.find(key);
+    return it != entries_.end() && it->second.pinned;
+  }
+
+  void MarkDirty(PageKey key) { entries_.at(key).dirty = true; }
+  void MarkClean(PageKey key) { entries_.at(key).dirty = false; }
+
+  bool IsDirty(PageKey key) const {
+    auto it = entries_.find(key);
+    return it != entries_.end() && it->second.dirty;
+  }
+
+  void Remove(PageKey key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return;
+    }
+    if (it->second.pinned) {
+      --pinned_;
+    }
+    order_.erase(it->second.it);
+    entries_.erase(it);
+  }
+
+  void RemoveFile(FileId file) {
+    for (int64_t page : ResidentPagesOf(file)) {
+      Remove({file, page});
+    }
+  }
+
+  void RemovePagesFrom(FileId file, int64_t first_page) {
+    for (int64_t page : ResidentPagesOf(file)) {
+      if (page >= first_page) {
+        Remove({file, page});
+      }
+    }
+  }
+
+  void Clear() {
+    entries_.clear();
+    order_.clear();
+    pinned_ = 0;
+  }
+
+  std::vector<int64_t> ResidentPagesOf(FileId file) const {
+    std::vector<int64_t> pages;
+    for (const auto& [key, entry] : entries_) {
+      if (key.file == file) {
+        pages.push_back(key.page);
+      }
+    }
+    std::sort(pages.begin(), pages.end());
+    return pages;
+  }
+
+  std::vector<PageKey> DirtyPagesOf(FileId file) const {
+    std::vector<PageKey> dirty;
+    for (const auto& [key, entry] : entries_) {
+      if (key.file == file && entry.dirty) {
+        dirty.push_back(key);
+      }
+    }
+    std::sort(dirty.begin(), dirty.end(),
+              [](const PageKey& a, const PageKey& b) { return a.page < b.page; });
+    return dirty;
+  }
+
+  std::vector<PageKey> AllDirtyPages() const {
+    std::vector<PageKey> dirty;
+    for (const auto& [key, entry] : entries_) {
+      if (entry.dirty) {
+        dirty.push_back(key);
+      }
+    }
+    std::sort(dirty.begin(), dirty.end(), [](const PageKey& a, const PageKey& b) {
+      return a.file != b.file ? a.file < b.file : a.page < b.page;
+    });
+    return dirty;
+  }
+
+  int64_t size_pages() const { return static_cast<int64_t>(entries_.size()); }
+  const PageCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::list<PageKey>::iterator it;
+    bool dirty = false;
+    bool referenced = false;
+    bool pinned = false;
+  };
+
+  EvictedPage EvictOne() {
+    for (int sweep = 0; sweep < 3; ++sweep) {
+      auto it = order_.begin();
+      while (it != order_.end()) {
+        Entry& entry = entries_.at(*it);
+        if (entry.pinned) {
+          ++it;
+          continue;
+        }
+        if (config_.policy == ReplacementPolicy::kClock && entry.referenced) {
+          entry.referenced = false;
+          auto next = std::next(it);
+          order_.splice(order_.end(), order_, it);
+          entry.it = std::prev(order_.end());
+          it = next;
+          continue;
+        }
+        EvictedPage evicted{*it, entry.dirty};
+        entries_.erase(*it);
+        order_.erase(it);
+        ++stats_.evictions;
+        if (evicted.dirty) {
+          ++stats_.dirty_evictions;
+        }
+        return evicted;
+      }
+    }
+    ADD_FAILURE() << "no evictable page";
+    return {};
+  }
+
+  PageCacheConfig config_;
+  std::unordered_map<PageKey, Entry, PageKeyHash> entries_;
+  std::list<PageKey> order_;
+  PageCacheStats stats_;
+  int64_t pinned_ = 0;
+};
+
+std::vector<PageRun> RunsFromPages(const std::vector<int64_t>& pages) {
+  std::vector<PageRun> runs;
+  for (int64_t page : pages) {
+    if (!runs.empty() && runs.back().end() == page) {
+      ++runs.back().count;
+    } else {
+      runs.push_back(PageRun{page, 1});
+    }
+  }
+  return runs;
+}
+
+void ExpectSameState(const PageCache& cache, const NaiveCache& naive,
+                     const std::vector<FileId>& files, int64_t max_page) {
+  ASSERT_TRUE(cache.ValidateIndex());
+  EXPECT_EQ(cache.size_pages(), naive.size_pages());
+  EXPECT_EQ(cache.stats().hits, naive.stats().hits);
+  EXPECT_EQ(cache.stats().misses, naive.stats().misses);
+  EXPECT_EQ(cache.stats().insertions, naive.stats().insertions);
+  EXPECT_EQ(cache.stats().evictions, naive.stats().evictions);
+  EXPECT_EQ(cache.stats().dirty_evictions, naive.stats().dirty_evictions);
+  EXPECT_EQ(cache.AllDirtyPages(), naive.AllDirtyPages());
+  for (FileId file : files) {
+    const std::vector<int64_t> pages = naive.ResidentPagesOf(file);
+    EXPECT_EQ(cache.ResidentPagesOf(file), pages);
+    EXPECT_EQ(cache.DirtyPagesOf(file), naive.DirtyPagesOf(file));
+    const std::vector<PageRun> runs = RunsFromPages(pages);
+    EXPECT_EQ(cache.ResidentRunsOf(file), runs);
+    EXPECT_EQ(cache.ResidentRunCountOf(file), static_cast<int64_t>(runs.size()));
+    // Probe every page: run queries must agree with the flat page list.
+    for (int64_t page = 0; page <= max_page; ++page) {
+      const auto run_at = cache.ResidentRunAt(file, page);
+      const bool resident = std::binary_search(pages.begin(), pages.end(), page);
+      ASSERT_EQ(run_at.has_value(), resident) << "file " << file << " page " << page;
+      if (resident) {
+        EXPECT_LE(run_at->first, page);
+        EXPECT_GT(run_at->end(), page);
+        EXPECT_EQ(cache.NextMissAfter(file, page), run_at->end());
+      } else {
+        EXPECT_EQ(cache.NextMissAfter(file, page), page);
+      }
+      const auto next = cache.NextResidentRun(file, page);
+      const auto expect = std::find_if(runs.begin(), runs.end(),
+                                       [page](const PageRun& r) { return r.end() > page; });
+      ASSERT_EQ(next.has_value(), expect != runs.end());
+      if (next.has_value()) {
+        EXPECT_EQ(*next, *expect);
+      }
+    }
+  }
+}
+
+void RunDifferential(ReplacementPolicy policy, uint64_t seed) {
+  const PageCacheConfig config{.capacity_pages = 64, .policy = policy};
+  PageCache cache(config);
+  NaiveCache naive(config);
+  Rng rng(seed);
+  const std::vector<FileId> files = {1, 2, 3, 7};
+  constexpr int64_t kMaxPage = 99;
+  constexpr int kOps = 4000;
+  for (int op = 0; op < kOps; ++op) {
+    const FileId file = files[static_cast<size_t>(rng.Uniform(0, 3))];
+    const int64_t page = rng.Uniform(0, kMaxPage);
+    const PageKey key{file, page};
+    const int64_t roll = rng.Uniform(0, 99);
+    if (roll < 25) {  // Touch
+      EXPECT_EQ(cache.Touch(key), naive.Touch(key));
+    } else if (roll < 60) {  // Insert, clean or dirty
+      const bool dirty = rng.Uniform(0, 2) == 0;
+      EXPECT_EQ(cache.Insert(key, dirty), naive.Insert(key, dirty));
+    } else if (roll < 70) {  // Remove
+      cache.Remove(key);
+      naive.Remove(key);
+    } else if (roll < 77) {  // Pin / Unpin
+      if (rng.Uniform(0, 2) != 0) {
+        EXPECT_EQ(cache.Pin(key), naive.Pin(key));
+      } else {
+        cache.Unpin(key);
+        naive.Unpin(key);
+      }
+      EXPECT_EQ(cache.IsPinned(key), naive.IsPinned(key));
+    } else if (roll < 87) {  // MarkDirty / MarkClean on resident pages
+      if (cache.Contains(key)) {
+        if (rng.Uniform(0, 1) == 0) {
+          cache.MarkDirty(key);
+          naive.MarkDirty(key);
+        } else {
+          cache.MarkClean(key);
+          naive.MarkClean(key);
+        }
+      }
+      EXPECT_EQ(cache.IsDirty(key), naive.IsDirty(key));
+    } else if (roll < 93) {  // RemovePagesFrom (truncate)
+      cache.RemovePagesFrom(file, page);
+      naive.RemovePagesFrom(file, page);
+    } else if (roll < 97) {  // RemoveFile
+      cache.RemoveFile(file);
+      naive.RemoveFile(file);
+    } else if (roll < 99) {  // spot-check queries
+      EXPECT_EQ(cache.Contains(key), naive.Contains(key));
+      EXPECT_EQ(cache.IsDirty(key), naive.IsDirty(key));
+    } else {  // rare full reset
+      cache.Clear();
+      naive.Clear();
+    }
+    if (op % 200 == 199) {
+      ExpectSameState(cache, naive, files, kMaxPage);
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "divergence at op " << op << " (policy "
+               << (policy == ReplacementPolicy::kLru ? "lru" : "clock") << ", seed " << seed
+               << ")";
+      }
+    }
+  }
+  ExpectSameState(cache, naive, files, kMaxPage);
+}
+
+TEST(CacheDiffTest, LruMatchesNaiveModel) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    RunDifferential(ReplacementPolicy::kLru, seed);
+  }
+}
+
+TEST(CacheDiffTest, ClockMatchesNaiveModel) {
+  for (uint64_t seed : {44u, 55u, 66u}) {
+    RunDifferential(ReplacementPolicy::kClock, seed);
+  }
+}
+
+}  // namespace
+}  // namespace sled
