@@ -13,6 +13,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "==== tier-1 (elevator I/O engine): ctest with SLEDS_IO_MODE=elevator ===="
+(cd build && SLEDS_IO_MODE=elevator ctest --output-on-failure -j)
+
+echo "==== I/O scheduler bench: FIFO vs C-LOOK + coalescing ===="
+./build/bench/bench_iosched
+
 if [[ "${SKIP_PERF:-}" == "1" ]]; then
   echo "==== perf smoke skipped (SKIP_PERF=1) ===="
 else

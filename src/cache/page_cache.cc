@@ -79,11 +79,14 @@ void PageCache::DropEntry(const PageKey& key) {
   if (it->second.pinned) {
     --pinned_;
   }
+  if (it->second.in_flight) {
+    --in_flight_;
+  }
   order_.erase(it->second.lru_it);
   entries_.erase(it);
 }
 
-std::optional<EvictedPage> PageCache::Insert(PageKey key, bool dirty) {
+std::optional<EvictedPage> PageCache::Insert(PageKey key, bool dirty, bool in_flight) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Re-insert of a resident page: refresh recency, accumulate dirtiness.
@@ -108,6 +111,10 @@ std::optional<EvictedPage> PageCache::Insert(PageKey key, bool dirty) {
   entry.lru_it = std::prev(order_.end());
   entry.dirty = dirty;
   entry.referenced = false;  // Clock inserts behind the hand, one sweep to live
+  entry.in_flight = in_flight;
+  if (in_flight) {
+    ++in_flight_;
+  }
   entries_.emplace(key, entry);
   IndexInsert(key.file, key.page);
   if (dirty) {
@@ -128,7 +135,7 @@ EvictedPage PageCache::EvictOne() {
     while (it != order_.end()) {
       auto entry_it = entries_.find(*it);
       SLED_CHECK(entry_it != entries_.end(), "ring out of sync with entry map");
-      if (entry_it->second.pinned) {
+      if (entry_it->second.pinned || entry_it->second.in_flight) {
         ++it;
         continue;
       }
@@ -152,8 +159,21 @@ EvictedPage PageCache::EvictOne() {
       return evicted;
     }
   }
-  SLED_CHECK(false, "no evictable page (all pinned?)");
+  SLED_CHECK(false, "no evictable page (all pinned or in flight?)");
   return {};
+}
+
+void PageCache::MarkArrived(PageKey key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.in_flight) {
+    it->second.in_flight = false;
+    --in_flight_;
+  }
+}
+
+bool PageCache::IsInFlight(PageKey key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.in_flight;
 }
 
 bool PageCache::Pin(PageKey key) {
@@ -345,6 +365,7 @@ void PageCache::Clear() {
   index_.clear();
   order_.clear();
   pinned_ = 0;
+  in_flight_ = 0;
 }
 
 void PageCache::MarkClean(PageKey key) {

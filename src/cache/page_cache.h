@@ -107,7 +107,19 @@ class PageCache {
   // Insert a page (newly read, or newly written when `dirty`). If the cache
   // is full, evicts one page chosen by the policy and returns it. Inserting a
   // resident page refreshes recency and ORs in dirtiness instead.
-  std::optional<EvictedPage> Insert(PageKey key, bool dirty);
+  //
+  // `in_flight` marks a page whose device transfer the async I/O engine has
+  // dispatched but whose data arrives at a future simulated instant: the
+  // frame is claimed now (so the page is never re-requested) but must not be
+  // evicted or re-used until MarkArrived(). The engine bounds in-flight pages
+  // well below capacity, so an evictable page always exists.
+  std::optional<EvictedPage> Insert(PageKey key, bool dirty, bool in_flight = false);
+
+  // Clear the in-flight flag once the simulated clock reaches the page's
+  // arrival time. No-op when not resident or not in flight.
+  void MarkArrived(PageKey key);
+  bool IsInFlight(PageKey key) const;
+  int64_t in_flight_pages() const { return in_flight_; }
 
   // Mark a resident page dirty. Requires residency.
   void MarkDirty(PageKey key);
@@ -177,6 +189,7 @@ class PageCache {
     bool dirty = false;
     bool referenced = false;  // Clock reference bit
     bool pinned = false;      // exempt from eviction (SLED lock)
+    bool in_flight = false;   // transfer dispatched, data not yet arrived
   };
 
   // Per-file ordered residency index: the maximal resident runs (first page
@@ -207,6 +220,7 @@ class PageCache {
   std::list<PageKey> order_;
   PageCacheStats stats_;
   int64_t pinned_ = 0;
+  int64_t in_flight_ = 0;
 };
 
 }  // namespace sled

@@ -40,6 +40,11 @@ class CdRomDevice final : public StorageDevice {
     return t;
   }
 
+  Duration EstimateWrite(int64_t offset, int64_t nbytes) const override {
+    // A burn pays the per-command overhead the read estimate elides.
+    return config_.per_request_overhead + Estimate(offset, nbytes);
+  }
+
   int64_t capacity_bytes() const override { return config_.capacity_bytes; }
 
   Duration SeekTime(int64_t from, int64_t to) const {

@@ -63,6 +63,13 @@ class StorageDevice {
   // mechanical estimates" extension.
   virtual Duration Estimate(int64_t offset, int64_t nbytes) const = 0;
 
+  // Estimated service time of a *write* at `offset`, for writeback planning.
+  // Defaults to the read estimate; devices with asymmetric write costs (tape
+  // turnarounds, CD-R command overhead) override it to estimate honestly.
+  virtual Duration EstimateWrite(int64_t offset, int64_t nbytes) const {
+    return Estimate(offset, nbytes);
+  }
+
   virtual int64_t capacity_bytes() const = 0;
 
   std::string_view name() const { return name_; }

@@ -94,6 +94,13 @@ Duration TapeDevice::Estimate(int64_t offset, int64_t nbytes) const {
   return t;
 }
 
+Duration TapeDevice::EstimateWrite(int64_t offset, int64_t nbytes) const {
+  // Access() also charges a turnaround per track boundary crossed while
+  // streaming; fold that in so writeback planning sees the true tape cost.
+  const int crossed = TrackOf(offset + nbytes - 1) - TrackOf(offset);
+  return Estimate(offset, nbytes) + config_.track_switch * crossed;
+}
+
 Duration TapeDevice::Access(int64_t offset, int64_t nbytes, bool /*writing*/) {
   Duration t;
   if (!mounted_) {

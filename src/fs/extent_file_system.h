@@ -31,6 +31,14 @@ class ExtentFileSystem : public FileSystem {
   int LevelOf(InodeNum ino, int64_t page) const override;
   int64_t LevelRunLen(InodeNum ino, int64_t page, int64_t max_pages) const override;
   std::vector<StorageLevelInfo> Levels() const override;
+  int64_t DeviceAddressOf(InodeNum ino, int64_t page) const override {
+    Result<int64_t> addr = allocator_.DeviceAddressOf(ino, page * kPageSize);
+    return addr.ok() ? *addr : -1;
+  }
+  StorageDevice* PrimaryDevice() override { return device_.get(); }
+  Result<Duration> EstimateWritePages(InodeNum ino, int64_t first_page, int64_t count) override {
+    return allocator_.EstimateTransferPages(ino, first_page, count, /*writing=*/true);
+  }
 
   void AttachObserver(Observer* obs) override {
     FileSystem::AttachObserver(obs);

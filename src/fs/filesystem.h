@@ -108,6 +108,22 @@ class FileSystem {
   virtual int64_t LevelRunLen(InodeNum ino, int64_t page, int64_t max_pages) const;
   virtual std::vector<StorageLevelInfo> Levels() const = 0;
 
+  // Flat device byte address backing `page` of `ino`, or -1 when the file
+  // system cannot map pages to a single flat address space (multi-level
+  // stores, offline HSM data). The I/O engine's C-LOOK elevator sorts by
+  // these addresses and its coalescer requires them to be adjacent.
+  virtual int64_t DeviceAddressOf(InodeNum /*ino*/, int64_t /*page*/) const { return -1; }
+
+  // The device whose mechanics service this file system's request queue, or
+  // nullptr when no single device dominates (the queue then degrades to FIFO
+  // order with nominal-cost planning).
+  virtual StorageDevice* PrimaryDevice() { return nullptr; }
+
+  // Estimated device time to write pages back, without performing the write
+  // or disturbing device state — writeback-drain planning. Defaults to the
+  // nominal characterization of the pages' current level.
+  virtual Result<Duration> EstimateWritePages(InodeNum ino, int64_t first_page, int64_t count);
+
   // Attach the kernel's observability sink. Concrete file systems forward
   // the observer to their storage devices; pure instrumentation, no effect
   // on any modeled cost. Called by the VFS at mount time.

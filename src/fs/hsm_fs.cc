@@ -230,6 +230,23 @@ int HsmFs::LevelOf(InodeNum ino, int64_t /*page*/) const {
   return changer_.IsMounted(s->tape_index) ? kLevelTapeNear : kLevelTapeFar;
 }
 
+int64_t HsmFs::DeviceAddressOf(InodeNum ino, int64_t page) const {
+  const HsmState* s = FindState(ino);
+  if (s == nullptr || !s->staged) {
+    return -1;
+  }
+  Result<int64_t> addr = staging_.DeviceAddressOf(ino, page * kPageSize);
+  return addr.ok() ? *addr : -1;
+}
+
+Result<Duration> HsmFs::EstimateWritePages(InodeNum ino, int64_t first_page, int64_t count) {
+  const HsmState* s = FindState(ino);
+  if (s != nullptr && s->staged) {
+    return staging_.EstimateTransferPages(ino, first_page, count, /*writing=*/true);
+  }
+  return FileSystem::EstimateWritePages(ino, first_page, count);
+}
+
 std::vector<StorageLevelInfo> HsmFs::Levels() const {
   const DeviceCharacteristics tape_near = changer_.tape(0).Nominal();
   DeviceCharacteristics tape_far = tape_near;

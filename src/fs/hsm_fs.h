@@ -61,6 +61,11 @@ class HsmFs final : public FileSystem {
     return max_pages;
   }
   std::vector<StorageLevelInfo> Levels() const override;
+  // Staged files map through the staging allocator; offline data has no flat
+  // address (-1), so the I/O engine's elevator degrades to FIFO for recalls.
+  int64_t DeviceAddressOf(InodeNum ino, int64_t page) const override;
+  StorageDevice* PrimaryDevice() override { return staging_device_.get(); }
+  Result<Duration> EstimateWritePages(InodeNum ino, int64_t first_page, int64_t count) override;
 
   // ---- HSM management ----
   // Copy a staged file to tape and release its staging space. Returns the

@@ -1,0 +1,50 @@
+// IoRequest: one queued page-range transfer between a file system's backing
+// store and the page cache. Requests are created by the kernel (demand
+// page-ins, asynchronous readahead, writeback) and sit in a per-device
+// DeviceQueue until the IoScheduler dispatches them.
+//
+// Everything here is plain data on the simulated timeline: `submit` is the
+// clock time the request entered the queue; the scheduler computes a start
+// and completion time when it dispatches. `device_addr`/`device_end_addr`
+// are the byte addresses of the request's first page and one past its last
+// page on the backing device (-1 when the file system cannot map pages to a
+// flat device address, e.g. an offline HSM file); the C-LOOK elevator sorts
+// by them and the coalescer requires them to be adjacent before merging.
+#ifndef SLEDS_SRC_IO_IO_REQUEST_H_
+#define SLEDS_SRC_IO_IO_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/common/sim_time.h"
+#include "src/common/units.h"
+
+namespace sled {
+
+enum class IoOp : uint8_t { kRead, kWrite };
+
+// Queue service order. kFifo dispatches in arrival order (today's kernel
+// behavior, just made asynchronous); kClook services pending requests in
+// ascending device-address order and wraps to the lowest address when the
+// sweep passes the end (C-LOOK elevator).
+enum class IoPolicy : uint8_t { kFifo, kClook };
+
+struct IoRequest {
+  int64_t id = 0;  // scheduler-assigned, strictly increasing (tie-breaker)
+  IoOp op = IoOp::kRead;
+  uint64_t file = 0;   // FileId (fs id + inode packed by the VFS)
+  int64_t ino = 0;     // inode within the owning file system
+  int64_t first_page = 0;
+  int64_t count = 0;   // pages
+  // Device byte address of first_page / one past the last page; -1 unknown.
+  int64_t device_addr = -1;
+  int64_t device_end_addr = -1;
+  TimePoint submit;    // clock time the request entered the queue
+  int32_t pid = 0;     // submitting process (0 = kernel/background)
+
+  int64_t end_page() const { return first_page + count; }
+  int64_t bytes() const { return count * kPageSize; }
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_IO_IO_REQUEST_H_

@@ -1,0 +1,128 @@
+#include "src/io/io_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace sled {
+
+void IoScheduler::AttachQueue(uint32_t queue_id, std::string name, DeviceQueueConfig config,
+                              IoDispatchFn dispatch, IoCompleteFn complete) {
+  SLED_CHECK(!queues_.contains(queue_id), "queue id already attached");
+  queues_.emplace(queue_id, std::make_unique<QueueState>(std::move(name), config,
+                                                         std::move(dispatch), std::move(complete)));
+}
+
+const DeviceQueue* IoScheduler::queue(uint32_t queue_id) const {
+  auto it = queues_.find(queue_id);
+  return it == queues_.end() ? nullptr : &it->second->queue;
+}
+
+void IoScheduler::ForEachQueue(
+    const std::function<void(uint32_t, const DeviceQueue&)>& fn) const {
+  for (const auto& [id, qs] : queues_) {
+    fn(id, qs->queue);
+  }
+}
+
+TimePoint IoScheduler::DispatchOne(QueueState& qs) {
+  // The device goes idle at busy_until; the decision instant is when it both
+  // is idle and has work. Only requests already submitted by then compete.
+  const TimePoint at = std::max(qs.busy_until, qs.queue.EarliestSubmit());
+  IoBatch batch = qs.queue.PopBatch(at);
+  Result<Duration> service = qs.dispatch(batch.merged, static_cast<int>(batch.parts.size()));
+  // busy_until moves *before* completions fire: a completion callback may
+  // Submit (e.g. writeback of an evicted dirty page), and that submission must
+  // see the device busy through this batch.
+  const bool ok = service.ok();
+  const TimePoint done = at + (ok ? *service : Duration());
+  qs.busy_until = done;
+  for (const IoRequest& part : batch.parts) {
+    qs.complete(part, done, ok);
+  }
+  return done;
+}
+
+void IoScheduler::Submit(uint32_t queue_id, IoRequest req) {
+  auto it = queues_.find(queue_id);
+  SLED_CHECK(it != queues_.end(), "Submit to unattached queue");
+  const TimePoint now = req.submit;
+  it->second->queue.Push(std::move(req));
+  CatchUp(now);  // no-op when called from inside a dispatch (pump guard)
+}
+
+void IoScheduler::CatchUp(TimePoint now) {
+  if (pumping_) {
+    return;  // nested submission during a dispatch; outer loop re-evaluates
+  }
+  pumping_ = true;
+  // Keep dispatching any queue whose next decision instant is <= now. A
+  // completion can push new requests onto *other* queues, so loop to a fixed
+  // point across all of them.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& [id, qs] : queues_) {
+      while (!qs->queue.empty() &&
+             std::max(qs->busy_until, qs->queue.EarliestSubmit()) <= now) {
+        DispatchOne(*qs);
+        progress = true;
+      }
+    }
+  }
+  pumping_ = false;
+}
+
+void IoScheduler::ForceDispatch(uint32_t queue_id, int64_t id, TimePoint now) {
+  auto it = queues_.find(queue_id);
+  SLED_CHECK(it != queues_.end(), "ForceDispatch on unattached queue");
+  SLED_CHECK(!pumping_, "ForceDispatch during dispatch");
+  QueueState& qs = *it->second;
+  pumping_ = true;
+  while (qs.queue.HasPending(id)) {
+    DispatchOne(qs);
+  }
+  pumping_ = false;
+  // The forced wait may have idled other queues past their next decision
+  // instant; bring everything back to `now`.
+  CatchUp(now);
+}
+
+TimePoint IoScheduler::Drain(TimePoint now) {
+  SLED_CHECK(!pumping_, "Drain during dispatch");
+  TimePoint latest = now;
+  pumping_ = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& [id, qs] : queues_) {
+      while (!qs->queue.empty()) {
+        latest = std::max(latest, DispatchOne(*qs));
+        progress = true;
+      }
+    }
+  }
+  pumping_ = false;
+  return latest;
+}
+
+std::vector<IoRequest> IoScheduler::CancelMatching(
+    const std::function<bool(const IoRequest&)>& pred) {
+  std::vector<IoRequest> out;
+  for (auto& [id, qs] : queues_) {
+    std::vector<IoRequest> canceled = qs->queue.CancelMatching(pred);
+    out.insert(out.end(), canceled.begin(), canceled.end());
+  }
+  return out;
+}
+
+int64_t IoScheduler::PendingPages(IoOp op) const {
+  int64_t pages = 0;
+  for (const auto& [id, qs] : queues_) {
+    pages += qs->queue.PendingPages(op);
+  }
+  return pages;
+}
+
+}  // namespace sled

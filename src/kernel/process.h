@@ -25,6 +25,9 @@ struct ProcessStats {
   int64_t major_faults = 0;
   int64_t bytes_read = 0;
   int64_t bytes_written = 0;
+  // Times the process blocked on an in-flight asynchronous I/O completion
+  // (event-driven engine only; the synchronous path never blocks-and-waits).
+  int64_t io_waits = 0;
   Duration cpu_time;
   Duration io_time;
 

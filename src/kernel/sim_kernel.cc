@@ -1,7 +1,9 @@
 #include "src/kernel/sim_kernel.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
+#include <string_view>
 
 #include "src/common/log.h"
 #include "src/common/units.h"
@@ -14,10 +16,29 @@ constexpr uint64_t kInoMask = (1ull << 40) - 1;
 uint32_t FsIdOfFid(FileId fid) { return static_cast<uint32_t>(fid >> 40); }
 InodeNum InoOfFid(FileId fid) { return static_cast<InodeNum>(fid & kInoMask); }
 
+IoMode ResolveIoMode(IoMode mode) {
+  if (mode != IoMode::kFromEnv) {
+    return mode;
+  }
+  const char* env = std::getenv("SLEDS_IO_MODE");
+  if (env == nullptr) {
+    return IoMode::kFifoSync;
+  }
+  const std::string_view v(env);
+  if (v == "elevator" || v == "clook") {
+    return IoMode::kElevator;
+  }
+  if (v == "fifo_async" || v == "fifo") {
+    return IoMode::kFifoAsync;
+  }
+  return IoMode::kFifoSync;
+}
+
 }  // namespace
 
 SimKernel::SimKernel(KernelConfig config)
     : config_(config),
+      io_mode_(ResolveIoMode(config.io.mode)),
       obs_(&clock_, static_cast<size_t>(std::max(1, config.trace_events))),
       cache_(config.cache),
       sleds_table_(config.memory) {
@@ -37,7 +58,84 @@ Result<uint32_t> SimKernel::Mount(std::string path, std::unique_ptr<FileSystem> 
                                                   static_cast<int>(i));
     obs_.SetLevelName(global, levels[i].name);
   }
+  if (engine_on()) {
+    DeviceQueueConfig qc;
+    qc.policy = io_mode_ == IoMode::kElevator ? IoPolicy::kClook : IoPolicy::kFifo;
+    qc.coalesce = io_mode_ == IoMode::kElevator && config_.io.coalesce;
+    qc.max_merge_pages = config_.io.max_merge_pages;
+    StorageDevice* primary = raw->PrimaryDevice();
+    std::string qname = primary != nullptr ? std::string(primary->name()) : raw->name();
+    scheduler_.AttachQueue(
+        fs_id, std::move(qname), qc,
+        // Dispatch: one merged batch = one store access. The returned service
+        // time becomes the queue's busy span; the clock is not advanced here —
+        // waiting processes are charged at AwaitPage.
+        [this, fs_id, raw](const IoRequest& merged, int parts) -> Result<Duration> {
+          int level = -1;
+          if (merged.op == IoOp::kRead) {
+            // Level attribution before the read: an HSM recall re-stages the
+            // file as a side effect, exactly as in the synchronous path.
+            if (auto g = sleds_table_.GlobalLevelOf(fs_id, raw->LevelOf(merged.ino,
+                                                                        merged.first_page));
+                g.ok()) {
+              level = g.value();
+            }
+          }
+          const Result<Duration> t =
+              merged.op == IoOp::kRead
+                  ? raw->ReadPagesFromStore(merged.ino, merged.first_page, merged.count)
+                  : raw->WritePagesToStore(merged.ino, merged.first_page, merged.count);
+          const DeviceQueue* q = scheduler_.queue(fs_id);
+          obs_.IoDispatch(q->name(), merged.count, parts, q->depth(),
+                          t.ok() ? t.value() : Duration());
+          if (merged.op == IoOp::kRead && t.ok()) {
+            obs_.PageIn(merged.pid, merged.file, merged.first_page, merged.count, level,
+                        t.value());
+          }
+          return t;
+        },
+        [this](const IoRequest& part, TimePoint done, bool ok) {
+          CompleteIo(part, done, ok);
+        });
+  }
   return fs_id;
+}
+
+void SimKernel::CompleteIo(const IoRequest& part, TimePoint done, bool ok) {
+  if (part.op == IoOp::kWrite) {
+    if (write_done_sink_ != nullptr) {
+      (*write_done_sink_)[part.id] = done;
+    }
+    if (ok) {
+      stats_.pages_written_back += part.count;
+    }
+    return;
+  }
+  for (int64_t q = part.first_page; q < part.end_page(); ++q) {
+    const PageKey key{part.file, q};
+    auto it = inflight_.find(key);
+    if (it == inflight_.end() || it->second.request_id != part.id) {
+      continue;  // canceled (truncate/unlink) while queued or in service
+    }
+    if (!ok) {
+      inflight_.erase(it);
+      continue;
+    }
+    it->second.dispatched = true;
+    it->second.ready_at = done;
+    if (!cache_.Contains(key)) {
+      // Claim the frame now, flagged in-flight until the clock reaches
+      // `done`; a dirty page pushed out spills to (asynchronous) writeback.
+      auto evicted = cache_.Insert(key, /*dirty=*/false, /*in_flight=*/true);
+      if (evicted.has_value() && evicted->dirty) {
+        QueueWriteback(nullptr, evicted->key);
+      }
+    }
+    arrivals_.push(Arrival{done, key});
+  }
+  if (ok) {
+    stats_.pages_paged_in += part.count;
+  }
 }
 
 // Records syscall entry on construction and the exit event (with the full
@@ -50,6 +148,12 @@ class SimKernel::SyscallScope {
     ++p_.stats().syscalls;
     k_.obs_.SyscallEnter(p_.pid(), name_);
     k_.ChargeCpu(p_, k_.config_.costs.syscall_overhead);
+    if (k_.engine_on()) {
+      // Kernel entry is where elapsed CPU time becomes visible to the I/O
+      // engine: replay device progress up to now and absorb any arrivals.
+      k_.scheduler_.CatchUp(k_.clock_.Now());
+      k_.HarvestArrivals();
+    }
   }
   ~SyscallScope() { k_.obs_.SyscallExit(p_.pid(), name_, k_.clock_.Now() - entered_); }
 
@@ -112,8 +216,9 @@ Result<int> SimKernel::Create(Process& p, std::string_view path) {
     if (attr.is_dir) {
       return Err::kIsDir;
     }
-    // O_TRUNC: drop contents and any cached pages.
+    // O_TRUNC: drop contents, cached pages, and any I/O still in the queues.
     const FileId fid = Vfs::MakeFileId(r.fs_id, r.ino);
+    CancelFileIo(fid, 0);
     cache_.RemoveFile(fid);
     std::erase_if(writeback_queue_, [fid](const PageKey& k) { return k.file == fid; });
     SLED_RETURN_IF_ERROR(r.fs->Truncate(r.ino, 0));
@@ -170,6 +275,151 @@ Result<void> SimKernel::PageIn(Process& p, const OpenFile& of, int64_t first_pag
   return Result<void>::Ok();
 }
 
+int64_t SimKernel::SubmitRead(int pid, const OpenFile& of, int64_t first, int64_t count) {
+  FileSystem* fs = vfs_.FsById(of.fs_id);
+  const int64_t id = scheduler_.AllocateId();
+  for (int64_t q = first; q < first + count; ++q) {
+    inflight_[{of.fid, q}] = InFlightPage{id, of.fs_id, TimePoint(), false};
+  }
+  IoRequest req;
+  req.id = id;
+  req.op = IoOp::kRead;
+  req.file = of.fid;
+  req.ino = static_cast<int64_t>(of.ino);
+  req.first_page = first;
+  req.count = count;
+  req.device_addr = fs->DeviceAddressOf(of.ino, first);
+  const int64_t last_addr = fs->DeviceAddressOf(of.ino, first + count - 1);
+  req.device_end_addr = last_addr >= 0 ? last_addr + kPageSize : -1;
+  req.submit = clock_.Now();
+  req.pid = pid;
+  const DeviceQueue* dq = scheduler_.queue(of.fs_id);
+  obs_.IoSubmit(pid, dq->name(), of.fid, first, count, /*write=*/false, dq->depth() + 1);
+  scheduler_.Submit(of.fs_id, req);
+  return id;
+}
+
+int64_t SimKernel::SubmitWrite(int pid, FileId fid, int64_t first, int64_t count) {
+  const uint32_t fs_id = FsIdOfFid(fid);
+  FileSystem* fs = vfs_.FsById(fs_id);
+  if (fs == nullptr || !scheduler_.HasQueue(fs_id)) {
+    return 0;
+  }
+  const InodeNum ino = InoOfFid(fid);
+  const int64_t id = scheduler_.AllocateId();
+  IoRequest req;
+  req.id = id;
+  req.op = IoOp::kWrite;
+  req.file = fid;
+  req.ino = static_cast<int64_t>(ino);
+  req.first_page = first;
+  req.count = count;
+  req.device_addr = fs->DeviceAddressOf(ino, first);
+  const int64_t last_addr = fs->DeviceAddressOf(ino, first + count - 1);
+  req.device_end_addr = last_addr >= 0 ? last_addr + kPageSize : -1;
+  req.submit = clock_.Now();
+  req.pid = pid;
+  const DeviceQueue* dq = scheduler_.queue(fs_id);
+  obs_.IoSubmit(pid, dq->name(), fid, first, count, /*write=*/true, dq->depth() + 1);
+  scheduler_.Submit(fs_id, req);
+  return id;
+}
+
+void SimKernel::AwaitPage(Process& p, PageKey key) {
+  const TimePoint now = clock_.Now();
+  scheduler_.CatchUp(now);
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) {
+    HarvestArrivals();
+    return;
+  }
+  if (!it->second.dispatched) {
+    // Still queued: the device must service it (and everything the policy
+    // puts ahead of it) before the process can continue.
+    scheduler_.ForceDispatch(it->second.fs_id, it->second.request_id, now);
+    it = inflight_.find(key);
+    if (it == inflight_.end() || !it->second.dispatched) {
+      HarvestArrivals();
+      return;  // request failed at the device; caller sees the missing page
+    }
+  }
+  if (now < it->second.ready_at) {
+    const Duration wait = it->second.ready_at - now;
+    clock_.Advance(wait);
+    p.stats().io_time += wait;
+    ++p.stats().io_waits;
+    obs_.IoWait(p.pid(), key.file, wait);
+  }
+  HarvestArrivals();
+}
+
+void SimKernel::HarvestArrivals() {
+  const TimePoint now = clock_.Now();
+  while (!arrivals_.empty() && !(now < arrivals_.top().ready)) {
+    const PageKey key = arrivals_.top().key;
+    arrivals_.pop();
+    cache_.MarkArrived(key);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end() && it->second.dispatched && !(now < it->second.ready_at)) {
+      inflight_.erase(it);
+    }
+  }
+}
+
+Result<int64_t> SimKernel::EnginePageIn(Process& p, const OpenFile& of, int64_t page,
+                                        int64_t run, int64_t demand) {
+  // The planned run must not re-request pages with an outstanding request:
+  // clip at the first such page. (`page` itself missed and is not in flight.)
+  for (int64_t q = page + 1; q < page + run; ++q) {
+    if (inflight_.contains({of.fid, q})) {
+      run = q - page;
+      break;
+    }
+  }
+  demand = std::min(demand, run);
+  ChargeCpu(p, config_.costs.fault_overhead);
+  // Demand pages: submit in cache-bounded chunks and wait for each, so a run
+  // larger than the cache never claims more in-flight frames than the budget.
+  const int64_t budget = std::max<int64_t>(1, cache_.capacity_pages() / 4);
+  int64_t submitted = 0;
+  while (submitted < demand) {
+    const int64_t chunk = std::min(demand - submitted, budget);
+    SubmitRead(p.pid(), of, page + submitted, chunk);
+    p.stats().major_faults += chunk;
+    AwaitPage(p, {of.fid, page + submitted});
+    for (int64_t q = page + submitted; q < page + submitted + chunk; ++q) {
+      if (!cache_.Contains({of.fid, q})) {
+        return Err::kIo;  // the device read failed
+      }
+    }
+    submitted += chunk;
+  }
+  // Readahead tail: purely asynchronous, trimmed to the in-flight budget so
+  // speculation can never fill the cache with unevictable frames.
+  int64_t ra = run - demand;
+  const int64_t outstanding = cache_.in_flight_pages() + scheduler_.PendingPages(IoOp::kRead);
+  ra = std::min(ra, std::max<int64_t>(0, budget - outstanding));
+  if (ra > 0) {
+    SubmitRead(p.pid(), of, page + demand, ra);
+    p.stats().major_faults += ra;
+    stats_.readahead_pages += ra;
+    obs_.Readahead(p.pid(), of.fid, page + demand, ra);
+  }
+  return demand + ra;
+}
+
+void SimKernel::CancelFileIo(FileId fid, int64_t first_page) {
+  if (!engine_on()) {
+    return;
+  }
+  scheduler_.CancelMatching([fid, first_page](const IoRequest& r) {
+    return r.file == fid && r.first_page >= first_page;
+  });
+  std::erase_if(inflight_, [fid, first_page](const auto& kv) {
+    return kv.first.file == fid && kv.first.page >= first_page;
+  });
+}
+
 int64_t SimKernel::PlanReadaheadRun(OpenFile& of, int64_t page, int64_t file_pages) {
   if (page == of.last_demand_page) {
     of.readahead_window =
@@ -209,12 +459,20 @@ Result<int64_t> SimKernel::Read(Process& p, int fd, std::span<char> dst) {
   const double mem_bw = config_.memory.bandwidth_bps;
   for (int64_t page = first; page <= last; ++page) {
     const PageKey key{of->fid, page};
+    if (engine_on() && inflight_.contains(key)) {
+      AwaitPage(p, key);  // readahead in flight for this page: block until it lands
+    }
     if (!cache_.Touch(key)) {
       // Demand miss: page in the readahead-planned run starting here.
       const int64_t run = PlanReadaheadRun(*of, page, file_pages);
       const int64_t demand = std::min<int64_t>(run, last - page + 1);
-      SLED_RETURN_IF_ERROR(PageIn(p, *of, page, run, demand));
-      of->last_demand_page = page + run;  // next sequential miss lands here
+      if (engine_on()) {
+        SLED_ASSIGN_OR_RETURN(const int64_t eff, EnginePageIn(p, *of, page, run, demand));
+        of->last_demand_page = page + eff;
+      } else {
+        SLED_RETURN_IF_ERROR(PageIn(p, *of, page, run, demand));
+        of->last_demand_page = page + run;  // next sequential miss lands here
+      }
     } else {
       ++p.stats().minor_faults;
     }
@@ -246,12 +504,20 @@ Result<std::string_view> SimKernel::MmapRead(Process& p, int fd, int64_t offset,
   const int64_t last = (offset + n - 1) / kPageSize;
   for (int64_t page = first; page <= last; ++page) {
     const PageKey key{of->fid, page};
+    if (engine_on() && inflight_.contains(key)) {
+      AwaitPage(p, key);
+    }
     if (!cache_.Touch(key)) {
       // Demand miss: identical readahead planning to Read().
       const int64_t run = PlanReadaheadRun(*of, page, file_pages);
       const int64_t demand = std::min<int64_t>(run, last - page + 1);
-      SLED_RETURN_IF_ERROR(PageIn(p, *of, page, run, demand));
-      of->last_demand_page = page + run;
+      if (engine_on()) {
+        SLED_ASSIGN_OR_RETURN(const int64_t eff, EnginePageIn(p, *of, page, run, demand));
+        of->last_demand_page = page + eff;
+      } else {
+        SLED_RETURN_IF_ERROR(PageIn(p, *of, page, run, demand));
+        of->last_demand_page = page + run;
+      }
     } else {
       ++p.stats().minor_faults;
     }
@@ -285,9 +551,16 @@ Result<int64_t> SimKernel::Write(Process& p, int fd, std::span<const char> src) 
     const int64_t page_hi = (page + 1) * kPageSize;
     const bool full_cover = of->offset <= page_lo && write_end >= page_hi;
     const bool beyond_old_eof = page_lo >= old_size;
+    if (engine_on() && inflight_.contains(key)) {
+      AwaitPage(p, key);  // overwriting a page whose read is in flight
+    }
     if (!full_cover && !beyond_old_eof && !cache_.Contains(key)) {
       // Read-modify-write of a non-resident partial page.
-      SLED_RETURN_IF_ERROR(PageIn(p, *of, page, 1, 1));
+      if (engine_on()) {
+        SLED_RETURN_IF_ERROR(EnginePageIn(p, *of, page, 1, 1));
+      } else {
+        SLED_RETURN_IF_ERROR(PageIn(p, *of, page, 1, 1));
+      }
     }
     auto evicted = cache_.Insert(key, /*dirty=*/true);
     if (evicted.has_value() && evicted->dirty) {
@@ -347,6 +620,7 @@ Result<void> SimKernel::Unlink(Process& p, std::string_view path) {
   SyscallScope sys(*this, p, "unlink");
   SLED_ASSIGN_OR_RETURN(Vfs::Resolved r, vfs_.Resolve(path));
   const FileId fid = Vfs::MakeFileId(r.fs_id, r.ino);
+  CancelFileIo(fid, 0);
   cache_.RemoveFile(fid);
   std::erase_if(writeback_queue_, [fid](const PageKey& k) { return k.file == fid; });
   return vfs_.Unlink(path);
@@ -358,6 +632,7 @@ Result<void> SimKernel::Ftruncate(Process& p, int fd, int64_t size) {
   FileSystem* fs = FsOf(*of);
   SLED_RETURN_IF_ERROR(fs->Truncate(of->ino, size));
   const int64_t first_dropped = PagesFor(size);
+  CancelFileIo(of->fid, first_dropped);
   cache_.RemovePagesFrom(of->fid, first_dropped);
   const FileId fid = of->fid;
   std::erase_if(writeback_queue_,
@@ -372,6 +647,46 @@ Result<void> SimKernel::Fsync(Process& p, int fd) {
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   FileSystem* fs = FsOf(*of);
   const std::vector<PageKey> dirty = cache_.DirtyPagesOf(of->fid);
+  if (engine_on()) {
+    // Submit each contiguous dirty run as one write request, force the queue
+    // to service them all, and sleep the process to the last completion.
+    std::unordered_map<int64_t, TimePoint> done;
+    write_done_sink_ = &done;
+    std::vector<int64_t> ids;
+    size_t i = 0;
+    while (i < dirty.size()) {
+      size_t j = i + 1;
+      while (j < dirty.size() && dirty[j].page == dirty[j - 1].page + 1) {
+        ++j;
+      }
+      ids.push_back(SubmitWrite(p.pid(), of->fid, dirty[i].page,
+                                static_cast<int64_t>(j - i)));
+      i = j;
+    }
+    for (const PageKey& key : dirty) {
+      cache_.MarkClean(key);
+    }
+    const TimePoint now = clock_.Now();
+    for (const int64_t id : ids) {
+      if (id != 0) {
+        scheduler_.ForceDispatch(of->fs_id, id, now);
+      }
+    }
+    write_done_sink_ = nullptr;
+    TimePoint latest = now;
+    for (const auto& [id, t] : done) {
+      latest = std::max(latest, t);
+    }
+    if (now < latest) {
+      const Duration wait = latest - now;
+      clock_.Advance(wait);
+      p.stats().io_time += wait;
+      ++p.stats().io_waits;
+      obs_.IoWait(p.pid(), of->fid, wait);
+    }
+    HarvestArrivals();
+    return Result<void>::Ok();
+  }
   int64_t run_start = -1;
   int64_t run_len = 0;
   auto flush_run = [&]() -> Result<void> {
@@ -400,6 +715,12 @@ Result<void> SimKernel::Fsync(Process& p, int fd) {
 
 void SimKernel::QueueWriteback(Process* p, PageKey key) {
   obs_.WritebackQueued(key.file, key.page);
+  if (engine_on()) {
+    // Hand the page straight to the device queue: it goes out asynchronously
+    // and the coalescer folds adjacent evictions into one access.
+    (void)SubmitWrite(p != nullptr ? p->pid() : 0, key.file, key.page, 1);
+    return;
+  }
   writeback_queue_.push_back(key);
   if (static_cast<int>(writeback_queue_.size()) >= config_.writeback_batch_pages) {
     (void)FlushWriteback(p);
@@ -422,6 +743,26 @@ Result<Duration> SimKernel::FlushWriteback(Process* p) {
                                        return a.file == b.file && a.page == b.page;
                                      }),
                          writeback_queue_.end());
+  // Dispatch in device order, not file order: one ascending sweep per device
+  // instead of seeking back and forth between files' extents. Ties (and pages
+  // with no flat device address) keep the (file, page) order from above, so
+  // single-file batches — and any file system whose allocation is sequential —
+  // are flushed exactly as before.
+  std::stable_sort(writeback_queue_.begin(), writeback_queue_.end(),
+                   [this](const PageKey& a, const PageKey& b) {
+                     const uint32_t afs = FsIdOfFid(a.file);
+                     const uint32_t bfs = FsIdOfFid(b.file);
+                     if (afs != bfs) {
+                       return afs < bfs;
+                     }
+                     FileSystem* fs = vfs_.FsById(afs);
+                     if (fs == nullptr) {
+                       return false;
+                     }
+                     const int64_t aa = fs->DeviceAddressOf(InoOfFid(a.file), a.page);
+                     const int64_t ba = fs->DeviceAddressOf(InoOfFid(b.file), b.page);
+                     return aa < ba;
+                   });
   Duration total;
   int64_t pages_flushed = 0;
   int64_t runs_flushed = 0;
@@ -621,6 +962,31 @@ void SimKernel::DropCaches() {
 }
 
 Duration SimKernel::FlushAllDirty() {
+  if (engine_on()) {
+    // Submit every dirty run, then drain all queues to quiescence: after the
+    // drain the clock sits at (or past) every completion, so a harvest clears
+    // all in-flight state and DropCaches can safely clear the cache.
+    const std::vector<PageKey> dirty = cache_.AllDirtyPages();
+    size_t i = 0;
+    while (i < dirty.size()) {
+      size_t j = i + 1;
+      while (j < dirty.size() && dirty[j].file == dirty[i].file &&
+             dirty[j].page == dirty[j - 1].page + 1) {
+        ++j;
+      }
+      (void)SubmitWrite(0, dirty[i].file, dirty[i].page, static_cast<int64_t>(j - i));
+      i = j;
+    }
+    for (const PageKey& key : dirty) {
+      cache_.MarkClean(key);
+    }
+    const TimePoint now = clock_.Now();
+    const TimePoint latest = scheduler_.Drain(now);
+    const Duration waited = now < latest ? latest - now : Duration();
+    clock_.Advance(waited);
+    HarvestArrivals();
+    return waited;
+  }
   Duration total;
   for (const PageKey& key : cache_.AllDirtyPages()) {
     FileSystem* fs = vfs_.FsById(FsIdOfFid(key.file));

@@ -7,14 +7,17 @@
 #define SLEDS_SRC_KERNEL_SIM_KERNEL_H_
 
 #include <memory>
+#include <queue>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cache/page_cache.h"
 #include "src/common/result.h"
 #include "src/common/sim_time.h"
 #include "src/fs/vfs.h"
+#include "src/io/io_scheduler.h"
 #include "src/kernel/process.h"
 #include "src/kernel/sleds_table.h"
 #include "src/obs/observer.h"
@@ -32,6 +35,27 @@ struct CpuCosts {
   Duration mmap_touch_per_page = Nanoseconds(600);  // minor fault / TLB work
 };
 
+// How page transfers reach the backing devices.
+//   kFifoSync  — every page-in is one synchronous device access in arrival
+//                order, the paper's Linux 2.2 behavior. The default: all
+//                paper-figure benches run (and stay byte-identical) here.
+//   kFifoAsync — the event-driven engine with FIFO queues: readahead beyond
+//                the demand run and writeback become asynchronous requests
+//                that overlap with process CPU time.
+//   kElevator  — the engine with C-LOOK device-address ordering and
+//                adjacent-request coalescing on each queue.
+//   kFromEnv   — resolve from $SLEDS_IO_MODE ("elevator", "fifo_async";
+//                anything else, or unset, means kFifoSync).
+enum class IoMode { kFromEnv, kFifoSync, kFifoAsync, kElevator };
+
+struct IoEngineConfig {
+  IoMode mode = IoMode::kFromEnv;
+  // Merge adjacent pending requests into one device access (elevator mode).
+  bool coalesce = true;
+  // Upper bound on one merged dispatch, in pages.
+  int64_t max_merge_pages = 256;
+};
+
 struct KernelConfig {
   PageCacheConfig cache;
   // Primary-memory characteristics: the cost of delivering cached pages to
@@ -44,6 +68,9 @@ struct KernelConfig {
   // Dirty pages evicted from the cache queue here and flush in batches,
   // approximating bdflush.
   int writeback_batch_pages = 256;
+  // I/O engine selection; the default resolves from the environment and
+  // falls back to kFifoSync (no behavior change).
+  IoEngineConfig io;
   CpuCosts costs;
   // Capacity of the observability event-trace ring (events). Tracing is
   // harness instrumentation: it records simulated timestamps but costs zero
@@ -133,6 +160,10 @@ class SimKernel {
   // syscall, page-in, writeback, SLED scan, and raw device transfer.
   Observer& obs() { return obs_; }
   const Observer& obs() const { return obs_; }
+  // The resolved I/O mode (kFromEnv is resolved at construction).
+  IoMode io_mode() const { return io_mode_; }
+  // The event-driven engine's scheduler; queues exist only in async modes.
+  const IoScheduler& io_scheduler() const { return scheduler_; }
 
   // Drop every clean page and discard the writeback queue after flushing.
   // (Cold-cache experiment setup.)
@@ -157,6 +188,34 @@ class SimKernel {
   Result<void> PageIn(Process& p, const OpenFile& of, int64_t first_page, int64_t count,
                       int64_t demand_pages);
 
+  // ---- event-driven I/O engine (async modes only) ----
+  bool engine_on() const { return io_mode_ != IoMode::kFifoSync; }
+  // Engine counterpart of PageIn: submits the demand pages (in cache-bounded
+  // chunks, waiting for each), then the readahead tail as an asynchronous
+  // request trimmed to the in-flight budget. Returns the effective run length
+  // actually requested starting at `page` (the caller's readahead bookmark).
+  Result<int64_t> EnginePageIn(Process& p, const OpenFile& of, int64_t page, int64_t run,
+                               int64_t demand);
+  // Completion callback for every dispatched request part: records write
+  // completion times, claims cache frames for read pages (flagged in-flight
+  // until the clock reaches `done`), and schedules their arrivals.
+  void CompleteIo(const IoRequest& part, TimePoint done, bool ok);
+  // Enqueue a read of pages [first, first+count); returns the request id.
+  int64_t SubmitRead(int pid, const OpenFile& of, int64_t first, int64_t count);
+  // Enqueue a writeback of pages [first, first+count); 0 when the file
+  // system is gone. Write submissions need no per-page tracking: contents
+  // already live in the FS content plane, the request models device timing.
+  int64_t SubmitWrite(int pid, FileId fid, int64_t first, int64_t count);
+  // Block `p` until `key` has arrived: force-dispatch its request if still
+  // queued, then advance the clock to the arrival time, charging the wait to
+  // the process's I/O account. No-op if the page is not in flight.
+  void AwaitPage(Process& p, PageKey key);
+  // Clear in-flight flags for every arrival at or before the current clock.
+  void HarvestArrivals();
+  // Drop queued requests and in-flight tracking for pages >= first_page of
+  // the file (truncate/unlink).
+  void CancelFileIo(FileId fid, int64_t first_page);
+
   // Demand miss on `page`: grow (sequential) or reset (random) the
   // descriptor's readahead window, then return the length of the run of
   // non-resident pages to fetch starting at `page`. Shared by Read and
@@ -174,15 +233,38 @@ class SimKernel {
 
   FileSystem* FsOf(const OpenFile& of);
 
+  // A read request's life, per page: submitted (queued, `dispatched` false),
+  // dispatched (frame claimed in the cache, flagged in-flight, data arrives
+  // at `ready_at`), then harvested once the clock reaches `ready_at`.
+  struct InFlightPage {
+    int64_t request_id = 0;
+    uint32_t fs_id = 0;
+    TimePoint ready_at;
+    bool dispatched = false;
+  };
+  struct Arrival {
+    TimePoint ready;
+    PageKey key;
+  };
+  struct ArrivalLater {
+    bool operator()(const Arrival& a, const Arrival& b) const { return b.ready < a.ready; }
+  };
+
   KernelConfig config_;
+  IoMode io_mode_ = IoMode::kFifoSync;
   SimClock clock_;
   Observer obs_;
   Vfs vfs_;
   PageCache cache_;
   SledsTable sleds_table_;
+  IoScheduler scheduler_;
   KernelStats stats_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<PageKey> writeback_queue_;
+  std::unordered_map<PageKey, InFlightPage, PageKeyHash> inflight_;
+  std::priority_queue<Arrival, std::vector<Arrival>, ArrivalLater> arrivals_;
+  // Armed by Fsync to collect its requests' completion times.
+  std::unordered_map<int64_t, TimePoint>* write_done_sink_ = nullptr;
   int next_pid_ = 1;
 };
 

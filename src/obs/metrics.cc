@@ -88,6 +88,15 @@ void MetricRegistry::Add(std::string_view counter, int64_t delta) {
   }
 }
 
+void MetricRegistry::SetGauge(std::string_view gauge, int64_t value) {
+  auto it = gauges_.find(gauge);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(gauge), value);
+  } else {
+    it->second = value;
+  }
+}
+
 void MetricRegistry::Observe(std::string_view histogram, Duration d) {
   auto it = histograms_.find(histogram);
   if (it == histograms_.end()) {
@@ -99,6 +108,11 @@ void MetricRegistry::Observe(std::string_view histogram, Duration d) {
 int64_t MetricRegistry::counter(std::string_view name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
+}
+
+int64_t MetricRegistry::gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
 }
 
 const LatencyHistogram* MetricRegistry::histogram(std::string_view name) const {
@@ -117,6 +131,18 @@ std::string MetricRegistry::ToJson() const {
     AppendInt(&out, value);
   }
   out += first ? "},\n" : "\n  },\n";
+  if (!gauges_.empty()) {
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : gauges_) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      AppendJsonKey(&out, name);
+      out += ": ";
+      AppendInt(&out, value);
+    }
+    out += "\n  },\n";
+  }
   out += "  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms_) {
@@ -150,6 +176,11 @@ std::string MetricRegistry::ToCsv() const {
     AppendInt(&out, value);
     out += "\n";
   }
+  for (const auto& [name, value] : gauges_) {
+    out += "gauge," + name + ",";
+    AppendInt(&out, value);
+    out += "\n";
+  }
   for (const auto& [name, h] : histograms_) {
     out += "histogram," + name + ",";
     AppendInt(&out, h.count());
@@ -172,6 +203,7 @@ std::string MetricRegistry::ToCsv() const {
 
 void MetricRegistry::Reset() {
   counters_.clear();
+  gauges_.clear();
   histograms_.clear();
 }
 

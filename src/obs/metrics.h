@@ -61,12 +61,18 @@ class MetricRegistry {
  public:
   void Add(std::string_view counter, int64_t delta = 1);
   void Observe(std::string_view histogram, Duration d);
+  // Last-value gauge ("io.disk.depth"). Exported in a separate JSON section
+  // that is omitted entirely while no gauge exists, so subsystems that never
+  // set one keep their exports byte-identical.
+  void SetGauge(std::string_view gauge, int64_t value);
 
   // 0 / nullptr when the key was never recorded.
   int64_t counter(std::string_view name) const;
+  int64_t gauge(std::string_view name) const;
   const LatencyHistogram* histogram(std::string_view name) const;
 
   const std::map<std::string, int64_t, std::less<>>& counters() const { return counters_; }
+  const std::map<std::string, int64_t, std::less<>>& gauges() const { return gauges_; }
   const std::map<std::string, LatencyHistogram, std::less<>>& histograms() const {
     return histograms_;
   }
@@ -83,6 +89,7 @@ class MetricRegistry {
 
  private:
   std::map<std::string, int64_t, std::less<>> counters_;
+  std::map<std::string, int64_t, std::less<>> gauges_;
   std::map<std::string, LatencyHistogram, std::less<>> histograms_;
 };
 

@@ -178,6 +178,68 @@ void Observer::SledScan(int pid, uint64_t file, int64_t pages, int64_t runs) {
 
 void Observer::VfsResolve() { metrics_.Add("vfs.resolves"); }
 
+void Observer::IoSubmit(int pid, std::string_view queue, uint64_t file, int64_t first_page,
+                        int64_t pages, bool write, int64_t depth) {
+  std::string key = "io.";
+  key += Sanitize(queue);
+  const size_t base_len = key.size();
+  key += ".submitted";
+  metrics_.Add(key);
+  key.resize(base_len);
+  key += ".depth";
+  metrics_.SetGauge(key, depth);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kIoSubmit;
+  e.pid = pid;
+  e.file = file;
+  e.a = first_page;
+  e.b = pages;
+  e.tag = std::string(queue);
+  e.level = write ? 1 : 0;  // repurposed: 1 = write request
+  trace_.Push(std::move(e));
+}
+
+void Observer::IoDispatch(std::string_view queue, int64_t pages, int64_t parts, int64_t depth,
+                          Duration service_time) {
+  std::string key = "io.";
+  key += Sanitize(queue);
+  const size_t base_len = key.size();
+  key += ".dispatches";
+  metrics_.Add(key);
+  key.resize(base_len);
+  key += ".dispatched_pages";
+  metrics_.Add(key, pages);
+  if (parts > 1) {
+    key.resize(base_len);
+    key += ".merged";
+    metrics_.Add(key, parts - 1);
+  }
+  key.resize(base_len);
+  key += ".depth";
+  metrics_.SetGauge(key, depth);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kIoDispatch;
+  e.a = pages;
+  e.b = parts;
+  e.dur = service_time;
+  e.tag = std::string(queue);
+  trace_.Push(std::move(e));
+}
+
+void Observer::IoWait(int pid, uint64_t file, Duration waited) {
+  metrics_.Add("kernel.io_waits");
+  metrics_.Observe("io.wait_time", waited);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kIoWait;
+  e.pid = pid;
+  e.file = file;
+  e.dur = waited;
+  trace_.Push(std::move(e));
+}
+
 std::string Observer::MetricsJson() const {
   std::string out = metrics_.ToJson();
   SLED_CHECK(!out.empty() && out.back() == '}', "malformed metrics json");

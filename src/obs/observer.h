@@ -53,6 +53,16 @@ class Observer {
   void SledScan(int pid, uint64_t file, int64_t pages, int64_t runs);
   void VfsResolve();
 
+  // ---- I/O engine hooks (fire only in the async engine modes) ----
+  // A request entered a device queue; `depth` is the queue depth after.
+  void IoSubmit(int pid, std::string_view queue, uint64_t file, int64_t first_page, int64_t pages,
+                bool write, int64_t depth);
+  // A merged batch of `parts` requests left the queue for the device.
+  void IoDispatch(std::string_view queue, int64_t pages, int64_t parts, int64_t depth,
+                  Duration service_time);
+  // A process blocked until an in-flight page arrived.
+  void IoWait(int pid, uint64_t file, Duration waited);
+
   // Combined export: the metric registry plus a trace summary block.
   std::string MetricsJson() const;
 

@@ -26,6 +26,12 @@ std::string_view TraceKindName(TraceKind kind) {
       return "device_write";
     case TraceKind::kSledScan:
       return "sled_scan";
+    case TraceKind::kIoSubmit:
+      return "io_submit";
+    case TraceKind::kIoDispatch:
+      return "io_dispatch";
+    case TraceKind::kIoWait:
+      return "io_wait";
   }
   return "unknown";
 }

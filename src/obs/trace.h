@@ -31,6 +31,9 @@ enum class TraceKind : uint8_t {
   kDeviceRead,
   kDeviceWrite,
   kSledScan,
+  kIoSubmit,
+  kIoDispatch,
+  kIoWait,
 };
 
 std::string_view TraceKindName(TraceKind kind);

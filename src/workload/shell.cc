@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 #include "src/apps/file_info.h"
@@ -587,6 +588,49 @@ std::string SledShell::CmdIostat() {
                 static_cast<long long>(m.counter("kernel.writeback_flushes")),
                 static_cast<long long>(m.counter("kernel.writeback_pages")),
                 static_cast<long long>(m.counter("kernel.writeback_runs")));
+  // Per-device transfer counters and busy-time utilization, from the dev.*
+  // metric namespace every StorageDevice reports into.
+  std::set<std::string> devices;
+  for (const auto& [key, value] : m.counters()) {
+    if (key.rfind("dev.", 0) == 0) {
+      const size_t dot = key.find('.', 4);
+      if (dot != std::string::npos) {
+        devices.insert(key.substr(4, dot - 4));
+      }
+    }
+  }
+  const Duration elapsed = kernel_->clock().Now().since_epoch();
+  for (const std::string& dev : devices) {
+    const std::string base = "dev." + dev + ".";
+    const LatencyHistogram* rt = m.histogram(base + "read_time");
+    const LatencyHistogram* wt = m.histogram(base + "write_time");
+    Duration busy;
+    if (rt != nullptr) {
+      busy += rt->sum();
+    }
+    if (wt != nullptr) {
+      busy += wt->sum();
+    }
+    const double util =
+        elapsed.nanos() > 0 ? 100.0 * busy.ToSeconds() / elapsed.ToSeconds() : 0.0;
+    out += Format("device %-10s reads %lld writes %lld repositions %lld busy %s (%.1f%%)\n",
+                  dev.c_str(), static_cast<long long>(m.counter(base + "reads")),
+                  static_cast<long long>(m.counter(base + "writes")),
+                  static_cast<long long>(m.counter(base + "repositions")),
+                  busy.ToString().c_str(), util);
+  }
+  // Request queues (event-driven engine modes only; empty under kFifoSync).
+  kernel_->io_scheduler().ForEachQueue([&](uint32_t /*id*/, const DeviceQueue& q) {
+    const DeviceQueueStats& s = q.stats();
+    out += Format(
+        "queue  %-10s depth %lld (max %lld) submitted %lld dispatched %lld/%lld "
+        "batches/pages merged %lld canceled %lld\n",
+        q.name().c_str(), static_cast<long long>(q.depth()),
+        static_cast<long long>(s.max_depth), static_cast<long long>(s.submitted),
+        static_cast<long long>(s.dispatched_batches),
+        static_cast<long long>(s.dispatched_pages), static_cast<long long>(s.merged),
+        static_cast<long long>(s.canceled));
+  });
   return out;
 }
 

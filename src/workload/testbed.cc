@@ -39,6 +39,7 @@ Testbed MakeTestbed(const TestbedConfig& config) {
   kc.memory = config.memory;
   kc.min_readahead_pages = config.min_readahead_pages;
   kc.max_readahead_pages = config.max_readahead_pages;
+  kc.io = config.io;
   tb.kernel = std::make_unique<SimKernel>(kc);
 
   // Small system disk at /.

@@ -31,6 +31,7 @@ struct TestbedConfig {
   int max_readahead_pages = 32;
   ExtentAllocatorConfig alloc;  // data-FS allocation (fragmentation ablation)
   HsmFsConfig hsm;              // used when kind == kHsm
+  IoEngineConfig io;            // I/O engine selection (default: environment)
   uint64_t seed = 1;
 };
 

@@ -359,6 +359,7 @@ TEST(KernelTest, WritebackBatchesFlushAtThreshold) {
   KernelConfig config;
   config.cache.capacity_pages = 16;
   config.writeback_batch_pages = 8;
+  config.io.mode = IoMode::kFifoSync;  // asserts the synchronous bdflush model
   auto kernel = std::make_unique<SimKernel>(config);
   auto fs = std::make_unique<ExtFs>("ext2", std::make_unique<DiskDevice>(DiskDeviceConfig{}));
   ASSERT_TRUE(kernel->Mount("/", std::move(fs)).ok());
@@ -434,6 +435,7 @@ TEST(KernelTest, WritebackFlushDeduplicatesRequeuedPages) {
   KernelConfig config;
   config.cache.capacity_pages = 4;
   config.writeback_batch_pages = 256;  // no flush until FlushAllDirty
+  config.io.mode = IoMode::kFifoSync;  // asserts the synchronous bdflush model
   auto kernel = std::make_unique<SimKernel>(config);
   auto fs = std::make_unique<ExtFs>("ext2", std::make_unique<DiskDevice>(DiskDeviceConfig{}));
   ASSERT_TRUE(kernel->Mount("/", std::move(fs)).ok());
@@ -466,6 +468,7 @@ TEST(KernelTest, SynchronousFlushTimeIsChargedToTriggeringProcess) {
   KernelConfig config;
   config.cache.capacity_pages = 16;
   config.writeback_batch_pages = 8;
+  config.io.mode = IoMode::kFifoSync;  // asserts the synchronous bdflush model
   auto kernel = std::make_unique<SimKernel>(config);
   auto fs = std::make_unique<ExtFs>("ext2", std::make_unique<DiskDevice>(DiskDeviceConfig{}));
   ASSERT_TRUE(kernel->Mount("/", std::move(fs)).ok());

@@ -217,6 +217,7 @@ TEST(ObserverKernelTest, WritebackHooksMatchKernelStats) {
   KernelConfig config;
   config.cache.capacity_pages = 16;
   config.writeback_batch_pages = 8;
+  config.io.mode = IoMode::kFifoSync;  // asserts the synchronous bdflush model
   World w = MakeWorld(config);
   const std::string data(64 * kPageSize, 'w');
   const int fd = w.kernel->Create(*w.proc, "/out").value();

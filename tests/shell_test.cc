@@ -193,6 +193,17 @@ TEST(ShellTest, IostatShowsPerLevelActivity) {
   // The cold cat paged everything in from the data disk: some level line has
   // a non-zero pagein count and quantiles.
   EXPECT_NE(out.find("p95"), std::string::npos);
+  // Per-device transfer counters with busy-time utilization.
+  EXPECT_NE(out.find("device disk"), std::string::npos);
+  EXPECT_NE(out.find("busy"), std::string::npos);
+  // The I/O queue section appears exactly when an engine mode is selected
+  // (the shell kernel resolves $SLEDS_IO_MODE).
+  if (shell.kernel().io_mode() != IoMode::kFifoSync) {
+    EXPECT_NE(out.find("\nqueue "), std::string::npos);
+    EXPECT_NE(out.find("dispatched"), std::string::npos);
+  } else {
+    EXPECT_EQ(out.find("\nqueue "), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -11,6 +11,17 @@
 namespace sled {
 namespace {
 
+// Calibration asserts measured service times against device nominals; pin the
+// synchronous I/O path so async readahead overlap (when $SLEDS_IO_MODE selects
+// an engine mode) cannot skew the probes.
+Testbed MakeSyncTestbed(StorageKind kind, uint64_t seed) {
+  TestbedConfig config;
+  config.kind = kind;
+  config.seed = seed;
+  config.io.mode = IoMode::kFifoSync;
+  return MakeTestbed(config);
+}
+
 TEST(TestbedTest, UnixTestbedsMountDataFs) {
   for (StorageKind kind : {StorageKind::kDisk, StorageKind::kCdRom, StorageKind::kNfs}) {
     Testbed tb = MakeUnixTestbed(kind, 1);
@@ -118,7 +129,7 @@ TEST(TextGenTest, MarkerPlacementAndRemoval) {
 }
 
 TEST(CalibrateTest, MeasuresCloseToDeviceNominals) {
-  Testbed tb = MakeUnixTestbed(StorageKind::kNfs, 8);
+  Testbed tb = MakeSyncTestbed(StorageKind::kNfs, 8);
   Process& p = tb.kernel->CreateProcess("boot");
   const auto rows = CalibrateSledsTable(*tb.kernel, p).value();
   ASSERT_FALSE(rows.empty());
@@ -196,7 +207,7 @@ namespace sled {
 namespace {
 
 TEST(CalibrateTest, DiskMachineMeasuresShortStrokeSeeks) {
-  Testbed tb = MakeUnixTestbed(StorageKind::kDisk, 61);
+  Testbed tb = MakeSyncTestbed(StorageKind::kDisk, 61);
   Process& boot = tb.kernel->CreateProcess("boot");
   const auto rows = CalibrateSledsTable(*tb.kernel, boot).value();
   for (const CalibrationRow& row : rows) {
@@ -212,7 +223,7 @@ TEST(CalibrateTest, DiskMachineMeasuresShortStrokeSeeks) {
 }
 
 TEST(CalibrateTest, SealedCdromUsesExistingFile) {
-  Testbed tb = MakeUnixTestbed(StorageKind::kCdRom, 62);
+  Testbed tb = MakeSyncTestbed(StorageKind::kCdRom, 62);
   Process& gen = tb.kernel->CreateProcess("master");
   Rng rng(62);
   ASSERT_TRUE(GenerateTextFile(*tb.kernel, gen, "/data/disc.dat", MiB(12), rng).ok());
