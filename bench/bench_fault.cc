@@ -1,0 +1,187 @@
+// Fault-injection benchmark: graceful degradation under rising device fault
+// probability. One workload — stream-write a file three times the cache size
+// (forcing eviction writeback while faults fire), fsync, drop caches, then
+// read it back sequentially — repeated under per-op fault probabilities from
+// 0 (baseline) to an extreme 0.8.
+//
+// Expected shape: the run completes at every probability (no hangs — every
+// retry path is bounded); at modest p the kernel's retry/backoff machinery
+// masks everything (zero failed syscalls, zero lost dirty pages) at a small
+// time cost; only at extreme p do syscalls start returning kEIO and — past
+// the writeback attempt cap — dirty pages get counted lost rather than
+// wedging the queue. Lost pages are always accounted, never silent.
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/units.h"
+#include "src/device/device.h"
+#include "src/device/fault.h"
+#include "src/fs/vfs.h"
+#include "src/workload/testbed.h"
+
+namespace sled {
+namespace {
+
+constexpr int64_t kFileBytes = 4 * MiB(1);
+constexpr int64_t kChunkBytes = 64 * 1024;
+constexpr int64_t kCachePages = 256;  // 1 MiB cache vs 4 MiB file: eviction writeback
+// App-level retry budget per chunk before skipping ahead. The kernel already
+// retries each transfer max_io_retries times, so hitting this cap means the
+// chunk failed (retries+1) * kMaxChunkAttempts device attempts in a row.
+constexpr int kMaxChunkAttempts = 50;
+
+struct FaultResult {
+  double p = 0;
+  double seconds = 0;
+  bool completed = false;       // both phases ran to the end of the file
+  int64_t read_errors = 0;      // Read() syscalls that returned an error
+  int64_t write_errors = 0;     // Write()/Fsync() syscalls that returned an error
+  int64_t app_retries = 0;      // chunk re-issues after a failed syscall
+  int64_t io_retries = 0;       // kernel immediate transfer re-issues
+  int64_t io_errors = 0;        // transfers failed past all kernel retries
+  int64_t writeback_retries = 0;
+  int64_t writeback_lost = 0;
+  int64_t faults_injected = 0;  // device-level faults that escaped the controller
+  int64_t transient_masked = 0;
+};
+
+FaultResult RunAtProbability(double p) {
+  TestbedConfig config;
+  config.kind = StorageKind::kDisk;
+  config.cache_pages = kCachePages;
+  config.seed = 42;
+  Testbed tb = MakeTestbed(config);
+  SimKernel& k = *tb.kernel;
+
+  StorageDevice* dev = k.vfs().FsById(tb.data_fs_id)->PrimaryDevice();
+  std::shared_ptr<FaultPlan> plan;
+  if (p > 0) {
+    FaultPlanConfig fc;
+    fc.seed = 97;
+    fc.read_fault_prob = p;
+    fc.write_fault_prob = p;
+    plan = std::make_shared<FaultPlan>(fc);
+    plan->AttachClock(&k.clock());
+    dev->InjectFaults(plan);
+  }
+
+  FaultResult r;
+  r.p = p;
+  const TimePoint start = k.clock().Now();
+
+  Process& proc = k.CreateProcess("faultbench");
+  const int wfd = k.Create(proc, "/data/victim").value();
+  const std::string block(kChunkBytes, 'x');
+  bool wrote_all = true;
+  for (int64_t off = 0; off < kFileBytes; off += kChunkBytes) {
+    int attempts = 0;
+    while (true) {
+      auto w = k.Write(proc, wfd, std::span<const char>(block.data(), block.size()));
+      if (w.ok()) break;
+      ++r.write_errors;
+      if (++attempts >= kMaxChunkAttempts) {
+        wrote_all = false;
+        // Give up on this chunk; the file keeps its current size, so the
+        // read-back phase below shortens accordingly.
+        break;
+      }
+      ++r.app_retries;
+      SLED_CHECK(k.Lseek(proc, wfd, off, Whence::kSet).ok(), "lseek failed");
+    }
+    if (!wrote_all) break;
+  }
+  if (auto s = k.Fsync(proc, wfd); !s.ok()) ++r.write_errors;
+  SLED_CHECK(k.Close(proc, wfd).ok(), "close failed");
+  k.DropCaches();
+
+  const int rfd = k.Open(proc, "/data/victim").value();
+  const int64_t file_bytes = k.Fstat(proc, rfd).ok() ? k.Fstat(proc, rfd).value().size : 0;
+  std::vector<char> buf(kChunkBytes);
+  bool read_all = true;
+  int64_t off = 0;
+  while (off < file_bytes) {
+    int attempts = 0;
+    int64_t n = 0;
+    while (true) {
+      auto got = k.Read(proc, rfd, std::span<char>(buf.data(), buf.size()));
+      if (got.ok()) {
+        n = got.value();
+        break;
+      }
+      ++r.read_errors;
+      if (++attempts >= kMaxChunkAttempts) {
+        read_all = false;
+        break;
+      }
+      ++r.app_retries;
+      SLED_CHECK(k.Lseek(proc, rfd, off, Whence::kSet).ok(), "lseek failed");
+    }
+    if (!read_all || n == 0) break;
+    off += n;
+  }
+  SLED_CHECK(k.Close(proc, rfd).ok(), "close failed");
+  (void)k.FlushAllDirty();  // bounded internally by the writeback attempt cap
+
+  r.completed = wrote_all && read_all && off >= file_bytes;
+  r.seconds = (k.clock().Now() - start).ToSeconds();
+  r.io_retries = k.stats().io_retries;
+  r.io_errors = k.stats().io_errors;
+  r.writeback_retries = k.stats().writeback_retries;
+  r.writeback_lost = k.stats().writeback_lost;
+  if (plan) {
+    r.faults_injected = plan->stats().faults_injected;
+    r.transient_masked = plan->stats().transient_masked;
+  }
+  return r;
+}
+
+int Main() {
+  const std::vector<double> probs = {0.0, 0.001, 0.01, 0.05, 0.2, 0.8};
+  std::vector<FaultResult> results;
+  for (double p : probs) results.push_back(RunAtProbability(p));
+
+  std::printf("# fault sweep: %lld MiB file, %lld KiB cache, write+fsync+readback\n",
+              static_cast<long long>(kFileBytes / MiB(1)),
+              static_cast<long long>(kCachePages * 4));
+  std::printf("%-8s %9s %5s %8s %8s %8s %8s %8s %8s %8s\n", "p", "time(s)", "done", "rd_err",
+              "wr_err", "io_rtry", "io_err", "wb_rtry", "wb_lost", "faults");
+  for (const FaultResult& r : results) {
+    std::printf("%-8.3f %9.3f %5s %8lld %8lld %8lld %8lld %8lld %8lld %8lld\n", r.p, r.seconds,
+                r.completed ? "yes" : "no", static_cast<long long>(r.read_errors),
+                static_cast<long long>(r.write_errors), static_cast<long long>(r.io_retries),
+                static_cast<long long>(r.io_errors), static_cast<long long>(r.writeback_retries),
+                static_cast<long long>(r.writeback_lost),
+                static_cast<long long>(r.faults_injected));
+  }
+
+  std::string json = "{\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const FaultResult& r = results[i];
+    char line[640];
+    std::snprintf(
+        line, sizeof(line),
+        "  \"p_%g\": {\"seconds\": %.6f, \"completed\": %s, \"read_errors\": %lld, "
+        "\"write_errors\": %lld, \"app_retries\": %lld, \"io_retries\": %lld, "
+        "\"io_errors\": %lld, \"writeback_retries\": %lld, \"writeback_lost\": %lld, "
+        "\"faults_injected\": %lld, \"transient_masked\": %lld}%s\n",
+        r.p, r.seconds, r.completed ? "true" : "false", static_cast<long long>(r.read_errors),
+        static_cast<long long>(r.write_errors), static_cast<long long>(r.app_retries),
+        static_cast<long long>(r.io_retries), static_cast<long long>(r.io_errors),
+        static_cast<long long>(r.writeback_retries), static_cast<long long>(r.writeback_lost),
+        static_cast<long long>(r.faults_injected), static_cast<long long>(r.transient_masked),
+        i + 1 < results.size() ? "," : "");
+    json += line;
+  }
+  json += "}";
+  PrintBenchMetrics("fault", json);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sled
+
+int main() { return sled::Main(); }

@@ -16,6 +16,24 @@ cmake --build build -j
 echo "==== tier-1 (elevator I/O engine): ctest with SLEDS_IO_MODE=elevator ===="
 (cd build && SLEDS_IO_MODE=elevator ctest --output-on-failure -j)
 
+echo "==== fault smoke: ctest under a nonzero fault plan ===="
+# A low-probability transient-only plan (masked by controller retries) must
+# leave the whole tier-1 suite green: errors may flow, nothing may break.
+(cd build && SLEDS_FAULT_SEED=7 ctest --output-on-failure -j)
+
+echo "==== fault smoke: faults-off bench output is byte-identical ===="
+# SLEDS_FAULT_SEED=0 must be indistinguishable from the variable being unset:
+# the zero seed installs no plan, so the baseline stays byte-for-byte stable.
+SLEDS_BENCH_MAX_MB=8 ./build/bench/bench_fig03_lru_passes > /tmp/sleds_faultoff_a.txt
+SLEDS_FAULT_SEED=0 SLEDS_BENCH_MAX_MB=8 ./build/bench/bench_fig03_lru_passes > /tmp/sleds_faultoff_b.txt
+diff /tmp/sleds_faultoff_a.txt /tmp/sleds_faultoff_b.txt
+rm -f /tmp/sleds_faultoff_a.txt /tmp/sleds_faultoff_b.txt
+
+echo "==== fault bench: graceful degradation sweep ===="
+# Fails the gate on crash or hang; BENCH_fault.json shows bounded retries and
+# zero lost dirty pages at modest fault probabilities.
+timeout 300 ./build/bench/bench_fault
+
 echo "==== I/O scheduler bench: FIFO vs C-LOOK + coalescing ===="
 ./build/bench/bench_iosched
 

@@ -13,6 +13,7 @@ Result<FileInfoReport> FileInfoApp::Run(SimKernel& kernel, Process& process,
   report.size_bytes = attr.size;
   auto sleds = kernel.IoctlSledsGet(process, fd);
   if (!sleds.ok()) {
+    // Error path: fd cleanup is best-effort; the original error is the story.
     (void)kernel.Close(process, fd);
     return sleds.error();
   }

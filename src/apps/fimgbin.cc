@@ -15,6 +15,7 @@ Result<FimgbinResult> FimgbinApp::Run(SimKernel& kernel, Process& process, std::
   SLED_ASSIGN_OR_RETURN(FitsHeader header, FitsReadHeader(kernel, process, in_fd));
   if (header.naxis.size() != 2 || header.naxis[0] % options.boxcar != 0 ||
       header.naxis[1] % options.boxcar != 0) {
+    // Error path: fd cleanup is best-effort; the original error is the story.
     (void)kernel.Close(process, in_fd);
     return Err::kInval;
   }

@@ -46,6 +46,7 @@ Result<FimhistoResult> FimhistoApp::Run(SimKernel& kernel, Process& process,
   {
     auto copied = CopyFile(kernel, process, in_fd, output, &out_fd);
     if (!copied.ok()) {
+      // Error path: fd cleanup is best-effort; the original error is the story.
       (void)kernel.Close(process, in_fd);
       return copied.error();
     }

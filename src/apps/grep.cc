@@ -227,6 +227,7 @@ Result<GrepResult> GrepApp::Run(SimKernel& kernel, Process& process, std::string
           int64_t n, kernel.Read(process, fd,
                                  std::span<char>(buf.data(), static_cast<size_t>(pick.length))));
       if (n != pick.length) {
+        // Error path: fd cleanup is best-effort; the original error is the story.
         (void)kernel.Close(process, fd);
         return Err::kIo;
       }

@@ -99,6 +99,7 @@ Result<WcResult> WcApp::Run(SimKernel& kernel, Process& process, std::string_vie
                             FetchChunk(kernel, process, fd, pick.offset, pick.length,
                                        options.use_mmap, &buf));
       if (static_cast<int64_t>(data.size()) != pick.length) {
+        // Error path: fd cleanup is best-effort; the original error is the story.
         (void)kernel.Close(process, fd);
         return Err::kIo;
       }

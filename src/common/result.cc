@@ -32,6 +32,10 @@ std::string_view ErrName(Err e) {
       return "ENAMETOOLONG";
     case Err::kXDev:
       return "EXDEV";
+    case Err::kTimedOut:
+      return "ETIMEDOUT";
+    case Err::kUnavailable:
+      return "EUNAVAIL";
   }
   return "E?";
 }

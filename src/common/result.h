@@ -30,6 +30,8 @@ enum class Err {
   kNotEmpty,    // directory not empty
   kNameTooLong, // path component too long
   kXDev,        // cross-device link
+  kTimedOut,    // operation timed out (server down window, at the syscall boundary)
+  kUnavailable, // storage level currently unreachable (internal; maps to kTimedOut)
 };
 
 std::string_view ErrName(Err e);

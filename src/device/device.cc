@@ -5,13 +5,39 @@
 
 namespace sled {
 
-Duration StorageDevice::Read(int64_t offset, int64_t nbytes) {
+void StorageDevice::AttachObserver(Observer* obs) {
+  obs_ = obs;
+  if (faults_ != nullptr && obs_ != nullptr) {
+    faults_->AttachClock(obs_->clock());
+  }
+}
+
+void StorageDevice::InjectFaults(std::shared_ptr<FaultPlan> plan) {
+  faults_ = std::move(plan);
+  if (faults_ != nullptr && obs_ != nullptr) {
+    faults_->AttachClock(obs_->clock());
+  }
+}
+
+Result<Duration> StorageDevice::Read(int64_t offset, int64_t nbytes) {
   SLED_CHECK(offset >= 0 && nbytes > 0 && offset + nbytes <= capacity_bytes(),
              "%s: read out of range: offset=%lld nbytes=%lld cap=%lld", name_.c_str(),
              static_cast<long long>(offset), static_cast<long long>(nbytes),
              static_cast<long long>(capacity_bytes()));
+  if (faults_ != nullptr) {
+    if (const Err e = faults_->Judge(/*write=*/false, offset, nbytes); e != Err::kOk) {
+      ++stats_.read_errors;
+      if (obs_ != nullptr) {
+        obs_->DeviceError(name_, /*write=*/false, e);
+      }
+      return e;
+    }
+  }
   const int64_t repositions_before = stats_.repositions;
-  const Duration t = Access(offset, nbytes, /*writing=*/false);
+  Duration t = Access(offset, nbytes, /*writing=*/false);
+  if (faults_ != nullptr) {
+    t = faults_->AdjustServiceTime(t);
+  }
   ++stats_.reads;
   stats_.bytes_read += nbytes;
   stats_.busy_time += t;
@@ -22,13 +48,25 @@ Duration StorageDevice::Read(int64_t offset, int64_t nbytes) {
   return t;
 }
 
-Duration StorageDevice::Write(int64_t offset, int64_t nbytes) {
+Result<Duration> StorageDevice::Write(int64_t offset, int64_t nbytes) {
   SLED_CHECK(offset >= 0 && nbytes > 0 && offset + nbytes <= capacity_bytes(),
              "%s: write out of range: offset=%lld nbytes=%lld cap=%lld", name_.c_str(),
              static_cast<long long>(offset), static_cast<long long>(nbytes),
              static_cast<long long>(capacity_bytes()));
+  if (faults_ != nullptr) {
+    if (const Err e = faults_->Judge(/*write=*/true, offset, nbytes); e != Err::kOk) {
+      ++stats_.write_errors;
+      if (obs_ != nullptr) {
+        obs_->DeviceError(name_, /*write=*/true, e);
+      }
+      return e;
+    }
+  }
   const int64_t repositions_before = stats_.repositions;
-  const Duration t = Access(offset, nbytes, /*writing=*/true);
+  Duration t = Access(offset, nbytes, /*writing=*/true);
+  if (faults_ != nullptr) {
+    t = faults_->AdjustServiceTime(t);
+  }
   ++stats_.writes;
   stats_.bytes_written += nbytes;
   stats_.busy_time += t;

@@ -13,10 +13,13 @@
 #define SLEDS_SRC_DEVICE_DEVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "src/common/result.h"
 #include "src/common/sim_time.h"
+#include "src/device/fault.h"
 
 namespace sled {
 
@@ -36,6 +39,8 @@ struct DeviceStats {
   int64_t bytes_read = 0;
   int64_t bytes_written = 0;
   int64_t repositions = 0;  // accesses that paid positioning latency
+  int64_t read_errors = 0;  // reads rejected by the fault plan
+  int64_t write_errors = 0;
   Duration busy_time;
 };
 
@@ -48,9 +53,13 @@ class StorageDevice {
 
   // Service time to read/write `nbytes` at byte `offset`. Updates positioning
   // state and stats. Requires 0 <= offset, nbytes > 0,
-  // offset + nbytes <= capacity_bytes().
-  Duration Read(int64_t offset, int64_t nbytes);
-  Duration Write(int64_t offset, int64_t nbytes);
+  // offset + nbytes <= capacity_bytes(). With a fault plan attached the op
+  // may instead fail (kIo for media errors, kUnavailable inside a down
+  // window); a failed op is fail-fast — no positioning change, no device
+  // time, no device-RNG draw — so the failure's simulated cost is whatever
+  // the caller's retry policy spends.
+  Result<Duration> Read(int64_t offset, int64_t nbytes);
+  Result<Duration> Write(int64_t offset, int64_t nbytes);
 
   // Nominal (average-case) characteristics for the SLEDs table. For seekable
   // media the latency is the average positioning cost, matching what an
@@ -78,8 +87,21 @@ class StorageDevice {
 
   // Report every transfer to an observability sink (trace event + per-device
   // metrics). Pure instrumentation: attaching an observer never changes any
-  // returned service time.
-  void AttachObserver(Observer* obs) { obs_ = obs; }
+  // returned service time. Also hands the observer's clock to any fault plan
+  // so its down/slow windows become live.
+  void AttachObserver(Observer* obs);
+
+  // Install / inspect the fault plan. Passing nullptr detaches (the device
+  // becomes infallible again, the default). The plan inherits the observer's
+  // clock when one is attached; standalone plans with windows need
+  // AttachClock() by hand.
+  void InjectFaults(std::shared_ptr<FaultPlan> plan);
+  FaultPlan* faults() { return faults_.get(); }
+  const FaultPlan* faults() const { return faults_.get(); }
+
+  // Health the device reports upward for SLED construction; healthy when no
+  // plan is attached.
+  DeviceHealth Health() const { return faults_ != nullptr ? faults_->Health() : DeviceHealth{}; }
 
  protected:
   explicit StorageDevice(std::string name) : name_(std::move(name)) {}
@@ -95,6 +117,7 @@ class StorageDevice {
   std::string name_;
   DeviceStats stats_;
   Observer* obs_ = nullptr;
+  std::shared_ptr<FaultPlan> faults_;
 };
 
 }  // namespace sled

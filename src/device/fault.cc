@@ -1,0 +1,163 @@
+#include "src/device/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/log.h"
+
+namespace sled {
+namespace {
+
+// FNV-1a, so each device derives an independent stream from one env seed.
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultPlanConfig config) : config_(config), rng_(config.seed) {
+  SLED_CHECK(config_.read_fault_prob >= 0.0 && config_.read_fault_prob <= 1.0 &&
+                 config_.write_fault_prob >= 0.0 && config_.write_fault_prob <= 1.0 &&
+                 config_.persistent_prob >= 0.0 && config_.persistent_prob <= 1.0 &&
+                 config_.spike_prob >= 0.0 && config_.spike_prob <= 1.0,
+             "fault probabilities must be in [0, 1]");
+  SLED_CHECK(config_.controller_retries >= 0 && config_.spike_factor >= 1.0,
+             "bad fault plan config");
+}
+
+std::shared_ptr<FaultPlan> FaultPlan::FromEnv(std::string_view device_name) {
+  const char* env = std::getenv("SLEDS_FAULT_SEED");
+  if (env == nullptr) {
+    return nullptr;
+  }
+  const uint64_t seed = std::strtoull(env, nullptr, 10);
+  if (seed == 0) {
+    return nullptr;  // "0" means off, same as unset
+  }
+  FaultPlanConfig fc;
+  fc.seed = seed * 1099511628211ull ^ HashName(device_name);
+  double p = 0.002;
+  if (const char* pe = std::getenv("SLEDS_FAULT_P"); pe != nullptr) {
+    p = std::clamp(std::strtod(pe, nullptr), 0.0, 1.0);
+  }
+  fc.read_fault_prob = p;
+  fc.write_fault_prob = p;
+  // Transient-only, controller-masked: the fault rolls run hot on every op
+  // but an escape needs (retries+1) consecutive fault rolls, so the tier-1
+  // suite passes unchanged under the smoke plan.
+  fc.persistent_prob = 0.0;
+  fc.controller_retries = 3;
+  return std::make_shared<FaultPlan>(fc);
+}
+
+void FaultPlan::AddBadRange(int64_t offset, int64_t length) {
+  SLED_CHECK(offset >= 0 && length > 0, "bad media range must be non-empty");
+  bad_ranges_.emplace_back(offset, offset + length);
+}
+
+void FaultPlan::AddDownWindow(TimePoint start, TimePoint end) {
+  windows_.push_back(Window{start, end, 0.0});
+}
+
+void FaultPlan::AddSlowWindow(TimePoint start, TimePoint end, double factor) {
+  SLED_CHECK(factor >= 1.0, "slow window factor must be >= 1");
+  windows_.push_back(Window{start, end, factor});
+}
+
+bool FaultPlan::InBadRange(int64_t offset, int64_t nbytes) const {
+  const int64_t end = offset + nbytes;
+  for (const auto& [lo, hi] : bad_ranges_) {
+    if (offset < hi && lo < end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const FaultPlan::Window* FaultPlan::ActiveWindow() const {
+  if (clock_ == nullptr) {
+    return nullptr;
+  }
+  const TimePoint now = clock_->Now();
+  for (const Window& w : windows_) {
+    if (!(now < w.start) && now < w.end) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+Err FaultPlan::Judge(bool write, int64_t offset, int64_t nbytes) {
+  // Down window: the whole device is unreachable; no media rolls happen.
+  if (const Window* w = ActiveWindow(); w != nullptr && w->slow_factor == 0.0) {
+    ++stats_.unavailable_hits;
+    ++stats_.faults_injected;
+    return Err::kUnavailable;
+  }
+  // Scripted failures escape unconditionally.
+  int& forced = write ? forced_write_failures_ : forced_read_failures_;
+  if (forced > 0) {
+    --forced;
+    ++stats_.faults_injected;
+    return Err::kIo;
+  }
+  // Persistent media errors: already-marked ranges keep failing.
+  if (InBadRange(offset, nbytes)) {
+    ++stats_.faults_injected;
+    return Err::kIo;
+  }
+  // Probabilistic faults, with the controller retry budget applied inside the
+  // device: only (retries+1) consecutive fault rolls escape.
+  const double p = write ? config_.write_fault_prob : config_.read_fault_prob;
+  if (p > 0.0) {
+    for (int attempt = 0; attempt <= config_.controller_retries; ++attempt) {
+      if (!rng_.Bernoulli(p)) {
+        if (attempt > 0) {
+          stats_.transient_masked += attempt;
+        }
+        return Err::kOk;
+      }
+      if (config_.persistent_prob > 0.0 && rng_.Bernoulli(config_.persistent_prob)) {
+        AddBadRange(offset, nbytes);
+        ++stats_.persistent_marked;
+        ++stats_.faults_injected;
+        return Err::kIo;  // persistent: no point in controller retries
+      }
+    }
+    stats_.transient_masked += config_.controller_retries;
+    ++stats_.faults_injected;
+    return Err::kIo;
+  }
+  return Err::kOk;
+}
+
+Duration FaultPlan::AdjustServiceTime(Duration t) {
+  if (const Window* w = ActiveWindow(); w != nullptr && w->slow_factor > 1.0) {
+    t = SecondsF(t.ToSeconds() * w->slow_factor);
+  }
+  if (config_.spike_prob > 0.0 && rng_.Bernoulli(config_.spike_prob)) {
+    ++stats_.spikes;
+    t = SecondsF(t.ToSeconds() * config_.spike_factor);
+  }
+  return t;
+}
+
+DeviceHealth FaultPlan::Health() const {
+  DeviceHealth h;
+  if (const Window* w = ActiveWindow(); w != nullptr) {
+    if (w->slow_factor == 0.0) {
+      h.unavailable = true;
+    } else {
+      h.latency_factor = w->slow_factor;
+    }
+  }
+  return h;
+}
+
+}  // namespace sled

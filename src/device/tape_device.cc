@@ -163,14 +163,16 @@ Duration Autochanger::EnsureMounted(int tape_index) {
   return t;
 }
 
-Duration Autochanger::Read(int tape_index, int64_t offset, int64_t nbytes) {
+Result<Duration> Autochanger::Read(int tape_index, int64_t offset, int64_t nbytes) {
   Duration t = EnsureMounted(tape_index);
-  return t + tapes_[tape_index]->Read(offset, nbytes);
+  SLED_ASSIGN_OR_RETURN(Duration xfer, tapes_[tape_index]->Read(offset, nbytes));
+  return t + xfer;
 }
 
-Duration Autochanger::Write(int tape_index, int64_t offset, int64_t nbytes) {
+Result<Duration> Autochanger::Write(int tape_index, int64_t offset, int64_t nbytes) {
   Duration t = EnsureMounted(tape_index);
-  return t + tapes_[tape_index]->Write(offset, nbytes);
+  SLED_ASSIGN_OR_RETURN(Duration xfer, tapes_[tape_index]->Write(offset, nbytes));
+  return t + xfer;
 }
 
 Duration Autochanger::Estimate(int tape_index, int64_t offset, int64_t nbytes) const {

@@ -89,9 +89,12 @@ class Autochanger {
               Duration exchange_time = Seconds(10));
 
   // Service time for accessing bytes on tape `tape_index`, including any
-  // robot exchange and mount required to get the tape into a drive.
-  Duration Read(int tape_index, int64_t offset, int64_t nbytes);
-  Duration Write(int tape_index, int64_t offset, int64_t nbytes);
+  // robot exchange and mount required to get the tape into a drive. Fails
+  // only when the tape's fault plan rejects the transfer; the mechanical
+  // mount/exchange work preceding a failed transfer still happened and is
+  // charged via the tape's next successful access (fail-fast contract).
+  Result<Duration> Read(int tape_index, int64_t offset, int64_t nbytes);
+  Result<Duration> Write(int tape_index, int64_t offset, int64_t nbytes);
 
   // Estimated service time without changing state.
   Duration Estimate(int tape_index, int64_t offset, int64_t nbytes) const;

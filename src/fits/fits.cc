@@ -268,6 +268,7 @@ Result<FitsImage> FitsReadImage(SimKernel& kernel, Process& process, std::string
     SLED_ASSIGN_OR_RETURN(
         int64_t n, kernel.Read(process, fd, std::span<char>(buf.data(), static_cast<size_t>(want))));
     if (n <= 0) {
+      // Error path: fd cleanup is best-effort; the original error is the story.
       (void)kernel.Close(process, fd);
       return Err::kInval;
     }

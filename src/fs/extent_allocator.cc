@@ -90,7 +90,9 @@ Result<Duration> ExtentAllocator::TransferPages(InodeNum ino, int64_t first_page
     const int64_t run_start = std::max(begin, e.logical_start);
     const int64_t run_len = std::min(begin + remaining, e_end) - run_start;
     const int64_t dev_off = e.device_start + (run_start - e.logical_start);
-    total += writing ? device_->Write(dev_off, run_len) : device_->Read(dev_off, run_len);
+    SLED_ASSIGN_OR_RETURN(Duration t, writing ? device_->Write(dev_off, run_len)
+                                              : device_->Read(dev_off, run_len));
+    total += t;
     begin += run_len;
     remaining -= run_len;
   }

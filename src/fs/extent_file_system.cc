@@ -7,6 +7,7 @@ ExtentFileSystem::ExtentFileSystem(std::string name, std::unique_ptr<StorageDevi
     : FileSystem(std::move(name)),
       device_(std::move(device)),
       allocator_(device_.get(), alloc_config) {
+  device_->InjectFaults(FaultPlan::FromEnv(device_->name()));
   if (per_zone_levels) {
     zoned_ = dynamic_cast<const DiskDevice*>(device_.get());
     if (zoned_ != nullptr) {

@@ -33,9 +33,13 @@ class ExtentFileSystem : public FileSystem {
   std::vector<StorageLevelInfo> Levels() const override;
   int64_t DeviceAddressOf(InodeNum ino, int64_t page) const override {
     Result<int64_t> addr = allocator_.DeviceAddressOf(ino, page * kPageSize);
+    // Not an error swallow: -1 is this interface's documented "no flat
+    // address" value (unallocated sparse page), handled by the elevator.
     return addr.ok() ? *addr : -1;
   }
   StorageDevice* PrimaryDevice() override { return device_.get(); }
+  // Every level (zoned or not) is the one backing device.
+  DeviceHealth LevelHealth(int /*local_level*/) const override { return device_->Health(); }
   Result<Duration> EstimateWritePages(InodeNum ino, int64_t first_page, int64_t count) override {
     return allocator_.EstimateTransferPages(ino, first_page, count, /*writing=*/true);
   }

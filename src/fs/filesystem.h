@@ -119,6 +119,17 @@ class FileSystem {
   // order with nominal-cost planning).
   virtual StorageDevice* PrimaryDevice() { return nullptr; }
 
+  // Health of one *local* storage level, for SLED construction: a level in a
+  // down window reports unavailable (its SLED latency balloons so pickers
+  // prune or defer it — the paper's degraded-NFS story); a slow window
+  // reports latency_factor > 1. Default: always healthy.
+  virtual DeviceHealth LevelHealth(int /*local_level*/) const { return DeviceHealth{}; }
+
+  // Is the file system reachable at all right now? Metadata syscalls (Fstat)
+  // check this so a down server surfaces as kTimedOut without touching data.
+  // Default: always reachable.
+  virtual Result<void> CheckAvailable() const { return Result<void>::Ok(); }
+
   // Estimated device time to write pages back, without performing the write
   // or disturbing device state — writeback-drain planning. Defaults to the
   // nominal characterization of the pages' current level.

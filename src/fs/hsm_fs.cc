@@ -18,6 +18,7 @@ HsmFs::HsmFs(std::string name, HsmFsConfig config)
   if (config_.staging_capacity_bytes == 0) {
     config_.staging_capacity_bytes = config_.staging_disk.capacity_bytes;
   }
+  staging_device_->InjectFaults(FaultPlan::FromEnv(staging_device_->name()));
 }
 
 HsmFs::HsmState& HsmFs::StateOf(InodeNum ino) { return state_[ino]; }
@@ -66,8 +67,10 @@ Result<Duration> HsmFs::CopyToTape(InodeNum ino) {
     return Err::kNoSpc;
   }
   HsmState& s = StateOf(ino);
-  Duration t = staging_.TransferPages(ino, 0, PagesFor(size), /*writing=*/false).value_or({});
-  t += changer_.Write(best, tape_free_offset_[best], size);
+  SLED_ASSIGN_OR_RETURN(Duration t,
+                        staging_.TransferPages(ino, 0, PagesFor(size), /*writing=*/false));
+  SLED_ASSIGN_OR_RETURN(Duration wt, changer_.Write(best, tape_free_offset_[best], size));
+  t += wt;
   s.tape_index = best;
   s.tape_offset = tape_free_offset_[best];
   s.tape_length = size;
@@ -120,10 +123,14 @@ Result<Duration> HsmFs::Recall(InodeNum ino) {
   Duration t;
   const int64_t size = PageCeil(attr.size);
   SLED_RETURN_IF_ERROR(MakeStagingRoom(size, &t));
-  t += changer_.Read(s.tape_index, s.tape_offset, std::max<int64_t>(size, 1));
+  SLED_ASSIGN_OR_RETURN(Duration tape_t,
+                        changer_.Read(s.tape_index, s.tape_offset, std::max<int64_t>(size, 1)));
+  t += tape_t;
   SLED_RETURN_IF_ERROR(staging_.Resize(ino, attr.size));
   if (size > 0) {
-    t += staging_.TransferPages(ino, 0, PagesFor(size), /*writing=*/true).value_or({});
+    SLED_ASSIGN_OR_RETURN(Duration stage_t,
+                          staging_.TransferPages(ino, 0, PagesFor(size), /*writing=*/true));
+    t += stage_t;
   }
   s.staged = true;
   s.staged_dirty = false;
@@ -236,6 +243,8 @@ int64_t HsmFs::DeviceAddressOf(InodeNum ino, int64_t page) const {
     return -1;
   }
   Result<int64_t> addr = staging_.DeviceAddressOf(ino, page * kPageSize);
+  // Not an error swallow: -1 is this interface's documented "no flat address"
+  // value (sparse staging hole), and the elevator degrades to FIFO on it.
   return addr.ok() ? *addr : -1;
 }
 

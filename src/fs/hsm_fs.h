@@ -65,6 +65,11 @@ class HsmFs final : public FileSystem {
   // address (-1), so the I/O engine's elevator degrades to FIFO for recalls.
   int64_t DeviceAddressOf(InodeNum ino, int64_t page) const override;
   StorageDevice* PrimaryDevice() override { return staging_device_.get(); }
+  // Staging-disk health covers the disk level; the tape levels follow the
+  // library, which carries no fault plan in this model (always healthy).
+  DeviceHealth LevelHealth(int local_level) const override {
+    return local_level == kLevelDisk ? staging_device_->Health() : DeviceHealth{};
+  }
   Result<Duration> EstimateWritePages(InodeNum ino, int64_t first_page, int64_t count) override;
 
   // ---- HSM management ----

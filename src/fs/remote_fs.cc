@@ -13,29 +13,44 @@ RemoteServer::RemoteServer(const RemoteFsConfig& config)
           }(),
           "server-disk")),
       allocator_(disk_.get(), ExtentAllocatorConfig{}),
-      cache_({.capacity_pages = config.server_cache_pages}) {}
+      cache_({.capacity_pages = config.server_cache_pages}) {
+  disk_->InjectFaults(FaultPlan::FromEnv(disk_->name()));
+}
 
-Duration RemoteServer::WritebackEvicted(const EvictedPage& evicted) {
+Result<Duration> RemoteServer::WritebackEvicted(const EvictedPage& evicted) {
   if (!evicted.dirty) {
     return Duration();
   }
   // The evicted key's file field is the inode number (server-local ids).
-  auto t = allocator_.TransferPages(static_cast<InodeNum>(evicted.key.file), evicted.key.page, 1,
-                                    /*writing=*/true);
-  return t.ok() ? t.value() : Duration();
+  return allocator_.TransferPages(static_cast<InodeNum>(evicted.key.file), evicted.key.page, 1,
+                                  /*writing=*/true);
 }
 
 Result<Duration> RemoteServer::ReadPages(InodeNum ino, int64_t first_page, int64_t count) {
   Duration total;
   int64_t run_start = -1;
   int64_t run_len = 0;
-  auto flush_run = [&]() -> Result<void> {
-    if (run_len > 0) {
-      SLED_ASSIGN_OR_RETURN(Duration t,
-                            allocator_.TransferPages(ino, run_start, run_len, /*writing=*/false));
-      total += t;
-      run_len = 0;
+  // Miss pages are claimed in the cache as the run is built (so eviction cost
+  // lands inside this call), then filled by one disk read per run. If the fill
+  // or an eviction writeback fails, the claimed frames hold no data — drop
+  // them so a failed read can never leave poisoned "resident" pages behind.
+  auto drop_run = [&]() {
+    for (int64_t p = run_start; p < run_start + run_len; ++p) {
+      cache_.Remove({static_cast<FileId>(ino), p});
     }
+    run_len = 0;
+  };
+  auto flush_run = [&]() -> Result<void> {
+    if (run_len == 0) {
+      return Result<void>::Ok();
+    }
+    auto t = allocator_.TransferPages(ino, run_start, run_len, /*writing=*/false);
+    if (!t.ok()) {
+      drop_run();
+      return t.error();
+    }
+    total += t.value();
+    run_len = 0;
     return Result<void>::Ok();
   };
   for (int64_t page = first_page; page < first_page + count; ++page) {
@@ -50,7 +65,12 @@ Result<Duration> RemoteServer::ReadPages(InodeNum ino, int64_t first_page, int64
     ++run_len;
     auto evicted = cache_.Insert(key, /*dirty=*/false);
     if (evicted.has_value()) {
-      total += WritebackEvicted(*evicted);
+      auto wt = WritebackEvicted(*evicted);
+      if (!wt.ok()) {
+        drop_run();
+        return wt.error();
+      }
+      total += wt.value();
     }
   }
   SLED_RETURN_IF_ERROR(flush_run());
@@ -62,7 +82,8 @@ Result<Duration> RemoteServer::WritePages(InodeNum ino, int64_t first_page, int6
   for (int64_t page = first_page; page < first_page + count; ++page) {
     auto evicted = cache_.Insert({static_cast<FileId>(ino), page}, /*dirty=*/true);
     if (evicted.has_value()) {
-      total += WritebackEvicted(*evicted);
+      SLED_ASSIGN_OR_RETURN(Duration wt, WritebackEvicted(*evicted));
+      total += wt;
     }
   }
   return total;
@@ -93,7 +114,7 @@ Result<void> RemoteServer::Resize(InodeNum ino, int64_t new_size) {
 
 void RemoteServer::Free(InodeNum ino) {
   // Drop cached pages (dirty ones are discarded with the file).
-  const_cast<PageCache&>(cache_).RemoveFile(static_cast<FileId>(ino));
+  cache_.RemoveFile(static_cast<FileId>(ino));
   allocator_.Free(ino);
 }
 
@@ -101,11 +122,15 @@ RemoteFs::RemoteFs(std::string name, RemoteFsConfig config)
     : FileSystem(std::move(name)), config_(config), server_(config) {}
 
 Result<Duration> RemoteFs::ReadPagesFromStore(InodeNum ino, int64_t first_page, int64_t count) {
+  // A down server rejects the RPC outright — even pages in its cache are
+  // unreachable while the window is open.
+  SLED_RETURN_IF_ERROR(CheckAvailable());
   SLED_ASSIGN_OR_RETURN(Duration server_time, server_.ReadPages(ino, first_page, count));
   return server_time + WireTime(count * kPageSize);
 }
 
 Result<Duration> RemoteFs::WritePagesToStore(InodeNum ino, int64_t first_page, int64_t count) {
+  SLED_RETURN_IF_ERROR(CheckAvailable());
   SLED_ASSIGN_OR_RETURN(Duration server_time, server_.WritePages(ino, first_page, count));
   return server_time + WireTime(count * kPageSize);
 }

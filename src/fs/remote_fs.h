@@ -64,13 +64,19 @@ class RemoteServer {
   void Free(InodeNum ino);
 
   const PageCache& cache() const { return cache_; }
+  DiskDevice& disk() { return *disk_; }
   const DiskDevice& disk() const { return *disk_; }
   DeviceCharacteristics DiskNominal() const { return disk_->Nominal(); }
+  // Server reachability = its disk's health (the fault plan's down/slow
+  // windows model the "NFS server down / overloaded" scenarios).
+  DeviceHealth Health() const { return disk_->Health(); }
   void AttachObserver(Observer* obs) { disk_->AttachObserver(obs); }
 
  private:
-  // Flush one evicted dirty page; returns disk time.
-  Duration WritebackEvicted(const EvictedPage& evicted);
+  // Flush one evicted dirty page; returns disk time, or the disk's error (the
+  // page's contents are gone with the frame, so the caller must fail the
+  // triggering operation rather than pretend the write landed).
+  Result<Duration> WritebackEvicted(const EvictedPage& evicted);
 
   std::unique_ptr<DiskDevice> disk_;
   ExtentAllocator allocator_;
@@ -88,6 +94,12 @@ class RemoteFs final : public FileSystem {
     return server_.CachedRunLen(ino, page, max_pages);
   }
   std::vector<StorageLevelInfo> Levels() const override;
+  // Both remote levels sit behind the same wire and server: a down or slow
+  // server degrades them together.
+  DeviceHealth LevelHealth(int /*local_level*/) const override { return server_.Health(); }
+  Result<void> CheckAvailable() const override {
+    return server_.Health().unavailable ? Result<void>(Err::kUnavailable) : Result<void>::Ok();
+  }
 
   RemoteServer& server() { return server_; }
   const RemoteServer& server() const { return server_; }

@@ -40,6 +40,7 @@ struct IoRequest {
   int64_t device_end_addr = -1;
   TimePoint submit;    // clock time the request entered the queue
   int32_t pid = 0;     // submitting process (0 = kernel/background)
+  int32_t attempts = 0;  // dispatch attempts so far (failed-write resubmits)
 
   int64_t end_page() const { return first_page + count; }
   int64_t bytes() const { return count * kPageSize; }

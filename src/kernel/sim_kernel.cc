@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <limits>
 #include <string_view>
+#include <unordered_set>
 
 #include "src/common/log.h"
 #include "src/common/units.h"
@@ -15,6 +16,11 @@ constexpr uint64_t kInoMask = (1ull << 40) - 1;
 
 uint32_t FsIdOfFid(FileId fid) { return static_cast<uint32_t>(fid >> 40); }
 InodeNum InoOfFid(FileId fid) { return static_cast<InodeNum>(fid & kInoMask); }
+
+// Error-code mapping at the syscall boundary: kUnavailable is the storage
+// stack's internal "server down window" code; user space sees ETIMEDOUT,
+// like an NFS hard-mount interruption. Everything else passes through.
+Err ToSyscallErr(Err e) { return e == Err::kUnavailable ? Err::kTimedOut : e; }
 
 IoMode ResolveIoMode(IoMode mode) {
   if (mode != IoMode::kFromEnv) {
@@ -82,10 +88,15 @@ Result<uint32_t> SimKernel::Mount(std::string path, std::unique_ptr<FileSystem> 
             }
           }
           const Result<Duration> t =
-              merged.op == IoOp::kRead
-                  ? raw->ReadPagesFromStore(merged.ino, merged.first_page, merged.count)
-                  : raw->WritePagesToStore(merged.ino, merged.first_page, merged.count);
+              StoreTransfer(merged.pid, merged.file, raw, merged.ino, merged.first_page,
+                            merged.count, merged.op == IoOp::kWrite);
+          if (!t.ok()) {
+            last_io_error_ = t.error();  // for EnginePageIn / Fsync to report
+          }
           const DeviceQueue* q = scheduler_.queue(fs_id);
+          // Not an error swallow: the dispatch event is pure instrumentation,
+          // and a failed (fail-fast) dispatch really did cost zero device
+          // time. The error itself propagates through the return below.
           obs_.IoDispatch(q->name(), merged.count, parts, q->depth(),
                           t.ok() ? t.value() : Duration());
           if (merged.op == IoOp::kRead && t.ok()) {
@@ -103,11 +114,18 @@ Result<uint32_t> SimKernel::Mount(std::string path, std::unique_ptr<FileSystem> 
 
 void SimKernel::CompleteIo(const IoRequest& part, TimePoint done, bool ok) {
   if (part.op == IoOp::kWrite) {
-    if (write_done_sink_ != nullptr) {
-      (*write_done_sink_)[part.id] = done;
-    }
     if (ok) {
       stats_.pages_written_back += part.count;
+    }
+    if (write_done_sink_ != nullptr) {
+      // Fsync is force-dispatching: it owns failure handling for this window
+      // (re-dirty + error to the caller, or deferred resubmit for unrelated
+      // background writes), so nothing more happens here.
+      (*write_done_sink_)[part.id] = WriteDone{done, ok, part};
+      return;
+    }
+    if (!ok) {
+      HandleWritebackFailure(part, done);
     }
     return;
   }
@@ -192,6 +210,53 @@ Result<OpenFile*> SimKernel::FdOf(Process& p, int fd) {
 
 FileSystem* SimKernel::FsOf(const OpenFile& of) { return vfs_.FsById(of.fs_id); }
 
+Result<Duration> SimKernel::StoreTransfer(int pid, uint64_t file, FileSystem* fs, InodeNum ino,
+                                          int64_t first, int64_t count, bool write) {
+  auto issue = [&]() {
+    return write ? fs->WritePagesToStore(ino, first, count)
+                 : fs->ReadPagesFromStore(ino, first, count);
+  };
+  Result<Duration> t = issue();
+  for (int attempt = 1; !t.ok() && t.error() == Err::kIo && attempt <= config_.fault.max_io_retries;
+       ++attempt) {
+    ++stats_.io_retries;
+    obs_.IoRetry(pid, file, attempt, t.error());
+    t = issue();
+  }
+  if (!t.ok()) {
+    ++stats_.io_errors;
+    return ToSyscallErr(t.error());
+  }
+  return t;
+}
+
+Duration SimKernel::WritebackBackoff(int attempt) const {
+  const int shift = std::min(attempt - 1, 20);  // 2^20 x base is past any sane cap
+  const Duration b = config_.fault.writeback_backoff * (int64_t{1} << shift);
+  return std::min(b, config_.fault.writeback_backoff_cap);
+}
+
+void SimKernel::HandleWritebackFailure(const IoRequest& part, TimePoint done) {
+  // The pages' frames are already gone (they were evicted), so re-queue the
+  // request itself with capped exponential backoff; past the attempt cap the
+  // pages count as lost.
+  const int next_attempt = part.attempts + 1;
+  if (next_attempt >= config_.fault.max_writeback_attempts) {
+    stats_.writeback_lost += part.count;
+    obs_.WritebackError(part.file, part.first_page, part.count, /*lost=*/true);
+    return;
+  }
+  ++stats_.writeback_retries;
+  obs_.WritebackError(part.file, part.first_page, part.count, /*lost=*/false);
+  IoRequest retry = part;
+  retry.id = scheduler_.AllocateId();
+  retry.attempts = next_attempt;
+  // A future submit time is the backoff: the queue's EarliestSubmit causality
+  // delays the retry's dispatch until the deadline passes.
+  retry.submit = done + WritebackBackoff(next_attempt);
+  scheduler_.Submit(FsIdOfFid(part.file), retry);
+}
+
 Result<int> SimKernel::Open(Process& p, std::string_view path) {
   SyscallScope sys(*this, p, "open");
   SLED_ASSIGN_OR_RETURN(Vfs::Resolved r, vfs_.Resolve(path));
@@ -220,7 +285,8 @@ Result<int> SimKernel::Create(Process& p, std::string_view path) {
     const FileId fid = Vfs::MakeFileId(r.fs_id, r.ino);
     CancelFileIo(fid, 0);
     cache_.RemoveFile(fid);
-    std::erase_if(writeback_queue_, [fid](const PageKey& k) { return k.file == fid; });
+    std::erase_if(writeback_queue_,
+                  [fid](const WritebackEntry& e) { return e.key.file == fid; });
     SLED_RETURN_IF_ERROR(r.fs->Truncate(r.ino, 0));
   } else {
     SLED_ASSIGN_OR_RETURN(r, vfs_.CreateFile(path));
@@ -256,9 +322,14 @@ Result<void> SimKernel::PageIn(Process& p, const OpenFile& of, int64_t first_pag
       global.ok()) {
     level = global.value();
   }
-  SLED_ASSIGN_OR_RETURN(Duration t, fs->ReadPagesFromStore(of.ino, first_page, count));
-  ChargeIo(p, t);
+  // Fault bookkeeping is charged *before* the store transfer, mirroring the
+  // engine path (which charges it before submit): a transfer that fails after
+  // all retries then costs the same simulated time in every I/O mode.
   ChargeCpu(p, config_.costs.fault_overhead);
+  SLED_ASSIGN_OR_RETURN(Duration t,
+                        StoreTransfer(p.pid(), of.fid, fs, of.ino, first_page, count,
+                                      /*write=*/false));
+  ChargeIo(p, t);
   p.stats().major_faults += count;
   stats_.pages_paged_in += count;
   stats_.readahead_pages += count - demand_pages;
@@ -389,7 +460,11 @@ Result<int64_t> SimKernel::EnginePageIn(Process& p, const OpenFile& of, int64_t 
     AwaitPage(p, {of.fid, page + submitted});
     for (int64_t q = page + submitted; q < page + submitted + chunk; ++q) {
       if (!cache_.Contains({of.fid, q})) {
-        return Err::kIo;  // the device read failed
+        // The device read failed past all retries; report the code the
+        // dispatch recorded (already syscall-mapped), kIo if none.
+        const Err e = last_io_error_ != Err::kOk ? last_io_error_ : Err::kIo;
+        last_io_error_ = Err::kOk;
+        return e;
       }
     }
     submitted += chunk;
@@ -608,7 +683,13 @@ Result<InodeAttr> SimKernel::Stat(Process& p, std::string_view path) {
 Result<InodeAttr> SimKernel::Fstat(Process& p, int fd) {
   SyscallScope sys(*this, p, "fstat");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
-  return FsOf(*of)->GetAttr(of->ino);
+  FileSystem* fs = FsOf(*of);
+  // Attribute fetches need the server: inside a down window the caller sees
+  // ETIMEDOUT (NFS hard-mount semantics), not stale cached attributes.
+  if (auto avail = fs->CheckAvailable(); !avail.ok()) {
+    return ToSyscallErr(avail.error());
+  }
+  return fs->GetAttr(of->ino);
 }
 
 Result<std::vector<DirEntry>> SimKernel::ReadDir(Process& p, std::string_view path) {
@@ -622,7 +703,8 @@ Result<void> SimKernel::Unlink(Process& p, std::string_view path) {
   const FileId fid = Vfs::MakeFileId(r.fs_id, r.ino);
   CancelFileIo(fid, 0);
   cache_.RemoveFile(fid);
-  std::erase_if(writeback_queue_, [fid](const PageKey& k) { return k.file == fid; });
+  std::erase_if(writeback_queue_,
+                [fid](const WritebackEntry& e) { return e.key.file == fid; });
   return vfs_.Unlink(path);
 }
 
@@ -636,8 +718,8 @@ Result<void> SimKernel::Ftruncate(Process& p, int fd, int64_t size) {
   cache_.RemovePagesFrom(of->fid, first_dropped);
   const FileId fid = of->fid;
   std::erase_if(writeback_queue_,
-                [fid, first_dropped](const PageKey& k) {
-                  return k.file == fid && k.page >= first_dropped;
+                [fid, first_dropped](const WritebackEntry& e) {
+                  return e.key.file == fid && e.key.page >= first_dropped;
                 });
   return Result<void>::Ok();
 }
@@ -650,7 +732,7 @@ Result<void> SimKernel::Fsync(Process& p, int fd) {
   if (engine_on()) {
     // Submit each contiguous dirty run as one write request, force the queue
     // to service them all, and sleep the process to the last completion.
-    std::unordered_map<int64_t, TimePoint> done;
+    std::unordered_map<int64_t, WriteDone> done;
     write_done_sink_ = &done;
     std::vector<int64_t> ids;
     size_t i = 0;
@@ -674,8 +756,8 @@ Result<void> SimKernel::Fsync(Process& p, int fd) {
     }
     write_done_sink_ = nullptr;
     TimePoint latest = now;
-    for (const auto& [id, t] : done) {
-      latest = std::max(latest, t);
+    for (const auto& [id, wd] : done) {
+      latest = std::max(latest, wd.done);
     }
     if (now < latest) {
       const Duration wait = latest - now;
@@ -685,31 +767,61 @@ Result<void> SimKernel::Fsync(Process& p, int fd) {
       obs_.IoWait(p.pid(), of->fid, wait);
     }
     HarvestArrivals();
+    // Failure handling, after the sink is disarmed. Fsync's own failed runs
+    // re-dirty their (still resident) pages and the caller gets the error —
+    // the data is not on stable storage. A background writeback that happened
+    // to complete inside the window gets the normal resubmit treatment.
+    const std::unordered_set<int64_t> own(ids.begin(), ids.end());
+    Err first_err = Err::kOk;
+    for (const auto& [id, wd] : done) {
+      if (wd.ok) {
+        continue;
+      }
+      if (own.contains(id)) {
+        for (int64_t q = wd.req.first_page; q < wd.req.end_page(); ++q) {
+          const PageKey key{of->fid, q};
+          if (cache_.Contains(key)) {
+            cache_.MarkDirty(key);
+          }
+        }
+        if (first_err == Err::kOk) {
+          first_err = last_io_error_ != Err::kOk ? last_io_error_ : Err::kIo;
+        }
+      } else {
+        HandleWritebackFailure(wd.req, wd.done);
+      }
+    }
+    last_io_error_ = Err::kOk;
+    if (first_err != Err::kOk) {
+      return first_err;
+    }
     return Result<void>::Ok();
   }
-  int64_t run_start = -1;
-  int64_t run_len = 0;
-  auto flush_run = [&]() -> Result<void> {
-    if (run_len == 0) {
-      return Result<void>::Ok();
-    }
-    SLED_ASSIGN_OR_RETURN(Duration t, fs->WritePagesToStore(of->ino, run_start, run_len));
-    ChargeIo(p, t);
-    stats_.pages_written_back += run_len;
-    run_len = 0;
-    return Result<void>::Ok();
+  // Collect the dirty runs first, then flush; a page is marked clean only
+  // after its run reaches the store, so a failed flush leaves its pages (and
+  // every later run's) dirty for a retry and the caller sees the error.
+  struct Run {
+    int64_t first = 0;
+    int64_t len = 0;
   };
+  std::vector<Run> runs;
   for (const PageKey& key : dirty) {
-    if (run_len > 0 && key.page == run_start + run_len) {
-      ++run_len;
+    if (!runs.empty() && key.page == runs.back().first + runs.back().len) {
+      ++runs.back().len;
     } else {
-      SLED_RETURN_IF_ERROR(flush_run());
-      run_start = key.page;
-      run_len = 1;
+      runs.push_back({key.page, 1});
     }
-    cache_.MarkClean(key);
   }
-  SLED_RETURN_IF_ERROR(flush_run());
+  for (const Run& r : runs) {
+    SLED_ASSIGN_OR_RETURN(Duration t,
+                          StoreTransfer(p.pid(), of->fid, fs, of->ino, r.first, r.len,
+                                        /*write=*/true));
+    ChargeIo(p, t);
+    stats_.pages_written_back += r.len;
+    for (int64_t q = r.first; q < r.first + r.len; ++q) {
+      cache_.MarkClean({of->fid, q});
+    }
+  }
   return Result<void>::Ok();
 }
 
@@ -717,41 +829,69 @@ void SimKernel::QueueWriteback(Process* p, PageKey key) {
   obs_.WritebackQueued(key.file, key.page);
   if (engine_on()) {
     // Hand the page straight to the device queue: it goes out asynchronously
-    // and the coalescer folds adjacent evictions into one access.
+    // and the coalescer folds adjacent evictions into one access. Not an
+    // error swallow: the id is unneeded (no one waits on eviction writeback)
+    // and a dispatch failure is handled by CompleteIo's resubmit path.
     (void)SubmitWrite(p != nullptr ? p->pid() : 0, key.file, key.page, 1);
     return;
   }
-  writeback_queue_.push_back(key);
+  writeback_queue_.push_back(WritebackEntry{key, /*attempts=*/0, TimePoint()});
   if (static_cast<int>(writeback_queue_.size()) >= config_.writeback_batch_pages) {
+    // Not an error swallow: FlushWriteback handles its own failures (failed
+    // runs stay queued with backoff, or count as lost past the attempt cap);
+    // the returned duration is only of interest to FlushAllDirty.
     (void)FlushWriteback(p);
   }
 }
 
-Result<Duration> SimKernel::FlushWriteback(Process* p) {
+Result<Duration> SimKernel::FlushWriteback(Process* p, bool force) {
   if (writeback_queue_.empty()) {
     return Duration();
   }
-  std::sort(writeback_queue_.begin(), writeback_queue_.end(),
-            [](const PageKey& a, const PageKey& b) {
-              return a.file != b.file ? a.file < b.file : a.page < b.page;
+  const TimePoint now = clock_.Now();
+  // Entries still inside their backoff window stay queued (unless forced).
+  std::vector<WritebackEntry> waiting;
+  std::vector<WritebackEntry> batch;
+  batch.reserve(writeback_queue_.size());
+  for (const WritebackEntry& e : writeback_queue_) {
+    if (!force && now < e.not_before) {
+      waiting.push_back(e);
+    } else {
+      batch.push_back(e);
+    }
+  }
+  if (batch.empty()) {
+    writeback_queue_ = std::move(waiting);
+    return Duration();
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const WritebackEntry& a, const WritebackEntry& b) {
+              if (a.key.file != b.key.file) {
+                return a.key.file < b.key.file;
+              }
+              if (a.key.page != b.key.page) {
+                return a.key.page < b.key.page;
+              }
+              return a.attempts > b.attempts;  // duplicate: keep the retried entry
             });
   // A page can be queued twice between flushes (dirtied, evicted, re-read,
   // re-dirtied, evicted again). Deduplicate so each dirty page is written
-  // exactly once per flush.
-  writeback_queue_.erase(std::unique(writeback_queue_.begin(), writeback_queue_.end(),
-                                     [](const PageKey& a, const PageKey& b) {
-                                       return a.file == b.file && a.page == b.page;
-                                     }),
-                         writeback_queue_.end());
+  // exactly once per flush; the survivor keeps the higher attempt count so a
+  // re-dirtied page cannot reset its ticket toward the lost cap.
+  batch.erase(std::unique(batch.begin(), batch.end(),
+                          [](const WritebackEntry& a, const WritebackEntry& b) {
+                            return a.key.file == b.key.file && a.key.page == b.key.page;
+                          }),
+              batch.end());
   // Dispatch in device order, not file order: one ascending sweep per device
   // instead of seeking back and forth between files' extents. Ties (and pages
   // with no flat device address) keep the (file, page) order from above, so
   // single-file batches — and any file system whose allocation is sequential —
   // are flushed exactly as before.
-  std::stable_sort(writeback_queue_.begin(), writeback_queue_.end(),
-                   [this](const PageKey& a, const PageKey& b) {
-                     const uint32_t afs = FsIdOfFid(a.file);
-                     const uint32_t bfs = FsIdOfFid(b.file);
+  std::stable_sort(batch.begin(), batch.end(),
+                   [this](const WritebackEntry& a, const WritebackEntry& b) {
+                     const uint32_t afs = FsIdOfFid(a.key.file);
+                     const uint32_t bfs = FsIdOfFid(b.key.file);
                      if (afs != bfs) {
                        return afs < bfs;
                      }
@@ -759,37 +899,56 @@ Result<Duration> SimKernel::FlushWriteback(Process* p) {
                      if (fs == nullptr) {
                        return false;
                      }
-                     const int64_t aa = fs->DeviceAddressOf(InoOfFid(a.file), a.page);
-                     const int64_t ba = fs->DeviceAddressOf(InoOfFid(b.file), b.page);
+                     const int64_t aa = fs->DeviceAddressOf(InoOfFid(a.key.file), a.key.page);
+                     const int64_t ba = fs->DeviceAddressOf(InoOfFid(b.key.file), b.key.page);
                      return aa < ba;
                    });
   Duration total;
   int64_t pages_flushed = 0;
   int64_t runs_flushed = 0;
   size_t i = 0;
-  while (i < writeback_queue_.size()) {
-    const FileId fid = writeback_queue_[i].file;
-    const int64_t first = writeback_queue_[i].page;
+  while (i < batch.size()) {
+    const FileId fid = batch[i].key.file;
+    const int64_t first = batch[i].key.page;
     size_t j = i + 1;
-    while (j < writeback_queue_.size() && writeback_queue_[j].file == fid &&
-           writeback_queue_[j].page == writeback_queue_[j - 1].page + 1) {
+    while (j < batch.size() && batch[j].key.file == fid &&
+           batch[j].key.page == batch[j - 1].key.page + 1) {
       ++j;
     }
     FileSystem* fs = vfs_.FsById(FsIdOfFid(fid));
     if (fs != nullptr) {
-      auto t = fs->WritePagesToStore(InoOfFid(fid), first, static_cast<int64_t>(j - i));
+      auto t = StoreTransfer(p != nullptr ? p->pid() : 0, fid, fs, InoOfFid(fid), first,
+                             static_cast<int64_t>(j - i), /*write=*/true);
       if (t.ok()) {
         total += t.value();
         stats_.pages_written_back += static_cast<int64_t>(j - i);
         pages_flushed += static_cast<int64_t>(j - i);
         ++runs_flushed;
+      } else if (t.error() == Err::kIo || t.error() == Err::kTimedOut) {
+        // Device/server failure past the immediate retries: the dirty data is
+        // only in this queue now, so re-queue each page with backoff until the
+        // attempt cap, past which it counts as lost.
+        bool any_lost = false;
+        for (size_t k = i; k < j; ++k) {
+          WritebackEntry e = batch[k];
+          ++e.attempts;
+          if (e.attempts >= config_.fault.max_writeback_attempts) {
+            ++stats_.writeback_lost;
+            any_lost = true;
+            continue;
+          }
+          ++stats_.writeback_retries;
+          e.not_before = now + WritebackBackoff(e.attempts);
+          waiting.push_back(e);
+        }
+        obs_.WritebackError(fid, first, static_cast<int64_t>(j - i), any_lost);
       }
-      // Errors (unlinked file, offline HSM file) drop the pages: the data
-      // was already discarded at the content layer.
+      // Other errors (unlinked file, offline HSM file) drop the pages: the
+      // data was already discarded at the content layer.
     }
     i = j;
   }
-  writeback_queue_.clear();
+  writeback_queue_ = std::move(waiting);
   clock_.Advance(total);
   // A synchronous flush happens on behalf of whichever process pushed the
   // queue over the batch threshold; its device time belongs on that process's
@@ -824,7 +983,9 @@ Result<SledVector> SimKernel::BuildSleds(Process& p, const OpenFile& of, int64_t
   // memoizing is safe because pages are visited in ascending order, so an
   // unregistered level still fails on its first (lowest) page.
   std::vector<int> global_of_local;
-  auto append = [&](int64_t from_page, int64_t to_page, int level) {
+  std::vector<DeviceHealth> health_of_local;
+  auto append = [&](int64_t from_page, int64_t to_page, int level,
+                    const DeviceHealth& health) {
     const int64_t bytes = std::min(to_page * kPageSize, size) - from_page * kPageSize;
     if (!sleds.empty() && sleds.back().level == level) {
       sleds.back().length += bytes;
@@ -834,9 +995,19 @@ Result<SledVector> SimKernel::BuildSleds(Process& p, const OpenFile& of, int64_t
     Sled s;
     s.offset = from_page * kPageSize;
     s.length = bytes;
-    s.latency = row.chars.latency.ToSeconds();
-    s.bandwidth = row.chars.bandwidth_bps;
     s.level = level;
+    if (health.unavailable) {
+      // Down window: the estimate must steer consumers away. Balloon the
+      // latency to the unavailable penalty so latency-ordered plans defer the
+      // section, and flag it so pickers can prune it outright.
+      s.unavailable = true;
+      s.latency = config_.fault.unavailable_latency_s;
+      s.bandwidth = row.chars.bandwidth_bps;
+    } else {
+      // Slow window: the level answers, just late — scale the estimate.
+      s.latency = row.chars.latency.ToSeconds() * health.latency_factor;
+      s.bandwidth = row.chars.bandwidth_bps / health.latency_factor;
+    }
     sleds.push_back(s);
   };
   int64_t page = first_page;
@@ -845,7 +1016,7 @@ Result<SledVector> SimKernel::BuildSleds(Process& p, const OpenFile& of, int64_t
     if (run.has_value() && run->first <= page) {
       // Resident stretch: one memory-level segment to the run's end.
       const int64_t to = std::min(run->end(), end_page);
-      append(page, to, kMemoryLevel);
+      append(page, to, kMemoryLevel, DeviceHealth{});
       page = to;
       continue;
     }
@@ -863,13 +1034,21 @@ Result<SledVector> SimKernel::BuildSleds(Process& p, const OpenFile& of, int64_t
         if (local >= 0) {
           if (static_cast<size_t>(local) >= global_of_local.size()) {
             global_of_local.resize(static_cast<size_t>(local) + 1, -1);
+            health_of_local.resize(static_cast<size_t>(local) + 1);
           }
           global_of_local[static_cast<size_t>(local)] = global;
+          // Health is sampled once per scan per level (with the same memo):
+          // one consistent estimate even if a fault window edge passes mid-scan.
+          health_of_local[static_cast<size_t>(local)] = fs->LevelHealth(local);
         }
       }
+      const DeviceHealth health =
+          local >= 0 && static_cast<size_t>(local) < health_of_local.size()
+              ? health_of_local[static_cast<size_t>(local)]
+              : fs->LevelHealth(local);
       int64_t len = fs->LevelRunLen(of.ino, page, miss_end - page);
       len = std::max<int64_t>(1, std::min(len, miss_end - page));
-      append(page, page + len, global);
+      append(page, page + len, global, health);
       page += len;
     }
   }
@@ -957,6 +1136,8 @@ Result<int64_t> SimKernel::IoctlSledsUnlock(Process& p, int fd, int64_t offset, 
 }
 
 void SimKernel::DropCaches() {
+  // Not an error swallow: FlushAllDirty accounts its own failures (retries,
+  // then stats_.writeback_lost); the duration is irrelevant to cache setup.
   (void)FlushAllDirty();
   cache_.Clear();
 }
@@ -974,6 +1155,9 @@ Duration SimKernel::FlushAllDirty() {
              dirty[j].page == dirty[j - 1].page + 1) {
         ++j;
       }
+      // Not an error swallow: SubmitWrite returns the request id (0 when the
+      // file system is gone); completion — including failure resubmits — is
+      // handled by CompleteIo during the drain below.
       (void)SubmitWrite(0, dirty[i].file, dirty[i].page, static_cast<int64_t>(j - i));
       i = j;
     }
@@ -991,18 +1175,34 @@ Duration SimKernel::FlushAllDirty() {
   for (const PageKey& key : cache_.AllDirtyPages()) {
     FileSystem* fs = vfs_.FsById(FsIdOfFid(key.file));
     if (fs != nullptr) {
-      auto t = fs->WritePagesToStore(InoOfFid(key.file), key.page, 1);
+      auto t = StoreTransfer(0, key.file, fs, InoOfFid(key.file), key.page, 1,
+                             /*write=*/true);
       if (t.ok()) {
         total += t.value();
         stats_.pages_written_back += 1;
+      } else if (t.error() == Err::kIo || t.error() == Err::kTimedOut) {
+        // The frame is about to be surrendered (DropCaches): hand the page to
+        // the writeback queue so the forced drain below retries it.
+        writeback_queue_.push_back(
+            WritebackEntry{key, /*attempts=*/1, clock_.Now() + WritebackBackoff(1)});
+        ++stats_.writeback_retries;
+        obs_.WritebackError(key.file, key.page, 1, /*lost=*/false);
       }
+      // Other errors (unlinked file, offline HSM file) drop the page: the
+      // data was already discarded at the content layer.
     }
     cache_.MarkClean(key);
   }
   clock_.Advance(total);
-  auto queued = FlushWriteback(nullptr);  // advances the clock itself
-  if (queued.ok()) {
-    total += queued.value();
+  // Forced drain of the queue: retried entries go back in with a higher
+  // attempt count, so max_writeback_attempts passes bound the loop — anything
+  // still failing by then has been counted lost and dropped.
+  for (int pass = 0; pass < config_.fault.max_writeback_attempts && !writeback_queue_.empty();
+       ++pass) {
+    auto queued = FlushWriteback(nullptr, /*force=*/true);  // advances the clock itself
+    if (queued.ok()) {
+      total += queued.value();
+    }
   }
   return total;
 }

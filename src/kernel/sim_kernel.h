@@ -56,6 +56,25 @@ struct IoEngineConfig {
   int64_t max_merge_pages = 256;
 };
 
+// Kernel-level fault tolerance. Device faults are fail-fast (zero device
+// time, see src/device/fault.h), so every simulated cost of failure handling
+// is decided here: how often a failed store transfer is re-issued, and how
+// writeback retries back off before pages count as lost.
+struct FaultToleranceConfig {
+  // Immediate re-issues of a failed store transfer before the error escapes
+  // to the caller. Applies to kIo (media errors) only; kUnavailable (server
+  // down window) fails fast — retrying into a closed window is pointless.
+  int max_io_retries = 2;
+  // Total attempts for one writeback before its pages count as lost.
+  int max_writeback_attempts = 6;
+  // Backoff before writeback attempt n+1: backoff << (n-1), capped.
+  Duration writeback_backoff = Milliseconds(10);
+  Duration writeback_backoff_cap = Seconds(1);
+  // SLED latency reported for a level inside a down window, in seconds —
+  // large enough that latency-ordered pickers defer it past everything real.
+  double unavailable_latency_s = 3600.0;
+};
+
 struct KernelConfig {
   PageCacheConfig cache;
   // Primary-memory characteristics: the cost of delivering cached pages to
@@ -72,6 +91,7 @@ struct KernelConfig {
   // falls back to kFifoSync (no behavior change).
   IoEngineConfig io;
   CpuCosts costs;
+  FaultToleranceConfig fault;
   // Capacity of the observability event-trace ring (events). Tracing is
   // harness instrumentation: it records simulated timestamps but costs zero
   // simulated time.
@@ -84,6 +104,10 @@ struct KernelStats {
   int64_t pages_paged_in = 0;
   int64_t pages_written_back = 0;
   int64_t readahead_pages = 0;  // pages fetched beyond the demand page
+  int64_t io_errors = 0;        // store transfers that failed past all retries
+  int64_t io_retries = 0;       // immediate re-issues of failed transfers
+  int64_t writeback_retries = 0;  // writeback runs re-queued after a failure
+  int64_t writeback_lost = 0;     // dirty pages dropped past the attempt cap
 };
 
 class SimKernel {
@@ -227,9 +251,24 @@ class SimKernel {
   Result<SledVector> BuildSleds(Process& p, const OpenFile& of, int64_t first_page,
                                 int64_t end_page, int64_t size);
 
-  // Writeback machinery.
+  // One store transfer with the kernel's immediate-retry policy: re-issues on
+  // kIo up to fault.max_io_retries times (each failed attempt is fail-fast at
+  // the device, so retries cost zero simulated time), then maps the final
+  // error to its syscall-boundary code (kUnavailable -> kTimedOut). Shared by
+  // the synchronous page-in path, the engine dispatch callback, and every
+  // writeback flush so both I/O modes retry identically.
+  Result<Duration> StoreTransfer(int pid, uint64_t file, FileSystem* fs, InodeNum ino,
+                                 int64_t first, int64_t count, bool write);
+  // Capped exponential backoff before writeback attempt `attempt` (>= 1).
+  Duration WritebackBackoff(int attempt) const;
+  // A background (non-fsync) writeback request failed at dispatch: resubmit
+  // it with backoff, or count its pages lost past the attempt cap.
+  void HandleWritebackFailure(const IoRequest& part, TimePoint done);
+
+  // Writeback machinery. `force` flushes entries whose backoff deadline is
+  // still in the future (shutdown drain).
   void QueueWriteback(Process* p, PageKey key);
-  Result<Duration> FlushWriteback(Process* p);
+  Result<Duration> FlushWriteback(Process* p, bool force = false);
 
   FileSystem* FsOf(const OpenFile& of);
 
@@ -246,6 +285,23 @@ class SimKernel {
     TimePoint ready;
     PageKey key;
   };
+  // One queued dirty page (synchronous-writeback mode). A failed flush
+  // re-queues its pages with attempts+1 and a backoff deadline; pages past
+  // fault.max_writeback_attempts count as lost.
+  struct WritebackEntry {
+    PageKey key;
+    int attempts = 0;
+    TimePoint not_before;
+  };
+  // Completion record Fsync collects while its sink is armed. The request is
+  // kept so failures can be handled after the sink is disarmed: Fsync's own
+  // requests re-dirty their pages; unrelated background writebacks that
+  // completed inside the window get the normal resubmit treatment.
+  struct WriteDone {
+    TimePoint done;
+    bool ok = true;
+    IoRequest req;
+  };
   struct ArrivalLater {
     bool operator()(const Arrival& a, const Arrival& b) const { return b.ready < a.ready; }
   };
@@ -260,11 +316,17 @@ class SimKernel {
   IoScheduler scheduler_;
   KernelStats stats_;
   std::vector<std::unique_ptr<Process>> processes_;
-  std::vector<PageKey> writeback_queue_;
+  std::vector<WritebackEntry> writeback_queue_;
   std::unordered_map<PageKey, InFlightPage, PageKeyHash> inflight_;
   std::priority_queue<Arrival, std::vector<Arrival>, ArrivalLater> arrivals_;
-  // Armed by Fsync to collect its requests' completion times.
-  std::unordered_map<int64_t, TimePoint>* write_done_sink_ = nullptr;
+  // Armed by Fsync to collect its requests' completions (time + success);
+  // while armed, CompleteIo leaves write-failure handling to Fsync instead of
+  // auto-resubmitting.
+  std::unordered_map<int64_t, WriteDone>* write_done_sink_ = nullptr;
+  // Error code of the most recent failed engine dispatch, already mapped to
+  // its syscall-boundary code; EnginePageIn reports it when an awaited page
+  // never arrived. kOk when no dispatch has failed since the last report.
+  Err last_io_error_ = Err::kOk;
   int next_pid_ = 1;
 };
 

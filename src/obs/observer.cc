@@ -240,6 +240,48 @@ void Observer::IoWait(int pid, uint64_t file, Duration waited) {
   trace_.Push(std::move(e));
 }
 
+void Observer::DeviceError(std::string_view device, bool write, Err error) {
+  std::string key = "dev.";
+  key += Sanitize(device);
+  key += write ? ".write_errors" : ".read_errors";
+  metrics_.Add(key);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kDeviceError;
+  e.level = write ? 1 : 0;  // repurposed: 1 = write op
+  e.tag = std::string(device);
+  e.tag += ':';
+  e.tag += ErrName(error);
+  trace_.Push(std::move(e));
+}
+
+void Observer::IoRetry(int pid, uint64_t file, int attempt, Err error) {
+  metrics_.Add("kernel.io_retries");
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kIoRetry;
+  e.pid = pid;
+  e.file = file;
+  e.a = attempt;
+  e.tag = ErrName(error);
+  trace_.Push(std::move(e));
+}
+
+void Observer::WritebackError(uint64_t file, int64_t first_page, int64_t pages, bool lost) {
+  metrics_.Add("kernel.writeback_errors");
+  if (lost) {
+    metrics_.Add("kernel.writeback_lost", pages);
+  }
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kWritebackError;
+  e.file = file;
+  e.a = first_page;
+  e.b = pages;
+  e.level = lost ? 1 : 0;  // repurposed: 1 = pages dropped past the attempt cap
+  trace_.Push(std::move(e));
+}
+
 std::string Observer::MetricsJson() const {
   std::string out = metrics_.ToJson();
   SLED_CHECK(!out.empty() && out.back() == '}', "malformed metrics json");

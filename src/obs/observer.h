@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/result.h"
 #include "src/common/sim_time.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -27,6 +28,8 @@ class Observer {
 
   Observer(const Observer&) = delete;
   Observer& operator=(const Observer&) = delete;
+
+  const SimClock* clock() const { return clock_; }
 
   MetricRegistry& metrics() { return metrics_; }
   const MetricRegistry& metrics() const { return metrics_; }
@@ -62,6 +65,15 @@ class Observer {
                   Duration service_time);
   // A process blocked until an in-flight page arrived.
   void IoWait(int pid, uint64_t file, Duration waited);
+
+  // ---- error-path hooks (fire only under an active fault plan) ----
+  // A device rejected a transfer (fault plan said no).
+  void DeviceError(std::string_view device, bool write, Err error);
+  // The kernel re-issued a failed store transfer; `attempt` counts from 1.
+  void IoRetry(int pid, uint64_t file, int attempt, Err error);
+  // A writeback run failed and its pages were re-queued (or, past the
+  // attempt cap, counted lost).
+  void WritebackError(uint64_t file, int64_t first_page, int64_t pages, bool lost);
 
   // Combined export: the metric registry plus a trace summary block.
   std::string MetricsJson() const;

@@ -32,6 +32,12 @@ std::string_view TraceKindName(TraceKind kind) {
       return "io_dispatch";
     case TraceKind::kIoWait:
       return "io_wait";
+    case TraceKind::kDeviceError:
+      return "device_error";
+    case TraceKind::kIoRetry:
+      return "io_retry";
+    case TraceKind::kWritebackError:
+      return "writeback_error";
   }
   return "unknown";
 }

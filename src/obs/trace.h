@@ -34,6 +34,9 @@ enum class TraceKind : uint8_t {
   kIoSubmit,
   kIoDispatch,
   kIoWait,
+  kDeviceError,
+  kIoRetry,
+  kWritebackError,
 };
 
 std::string_view TraceKindName(TraceKind kind);

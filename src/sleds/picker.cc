@@ -24,6 +24,20 @@ void SortPickOrder(SledVector& sleds) {
 SledsPicker::SledsPicker(SimKernel& kernel, Process& process, int fd, PickerOptions options)
     : kernel_(kernel), process_(process), fd_(fd), options_(options) {}
 
+void SledsPicker::PruneUnavailable(SledVector& sleds) {
+  pruned_bytes_ = 0;
+  if (!options_.prune_unavailable) {
+    return;
+  }
+  std::erase_if(sleds, [this](const Sled& s) {
+    if (s.unavailable) {
+      pruned_bytes_ += s.length;
+      return true;
+    }
+    return false;
+  });
+}
+
 Result<std::unique_ptr<SledsPicker>> SledsPicker::Create(SimKernel& kernel, Process& process,
                                                          int fd, PickerOptions options) {
   if (options.preferred_chunk_bytes <= 0 || options.element_size < 0 ||
@@ -106,6 +120,7 @@ Result<void> SledsPicker::BuildPlan() {
   if (options_.element_size > 0) {
     AdjustToElementBoundaries(sleds);
   }
+  PruneUnavailable(sleds);
   SortPickOrder(sleds);
   plan_ = std::move(sleds);
   current_ = 0;
@@ -274,6 +289,7 @@ Result<void> SledsPicker::Refresh() {
   if (options_.element_size > 0) {
     AdjustToElementBoundaries(fresh);
   }
+  PruneUnavailable(fresh);
   SortPickOrder(fresh);
   plan_ = std::move(fresh);
   current_ = 0;

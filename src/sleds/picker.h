@@ -52,6 +52,14 @@ struct PickerOptions {
   // every N picks to notice prefetch-driven state changes. 0 = snapshot at
   // init only (the paper's implementation).
   int refresh_every_n_picks = 0;
+
+  // Drop sections whose storage level is unreachable (Sled::unavailable)
+  // from the plan instead of merely deferring them: the picker consumes all
+  // reachable data and reports the pruned byte count. With periodic refresh,
+  // a section whose down window has ended rejoins the plan on the next
+  // rebuild. Off by default — "each chunk exactly once" is the paper's
+  // contract.
+  bool prune_unavailable = false;
 };
 
 class SledsPicker {
@@ -73,6 +81,10 @@ class SledsPicker {
   int64_t remaining_bytes() const;
   bool done() const { return remaining_bytes() == 0; }
 
+  // Bytes dropped from the current plan because their level was unreachable
+  // (prune_unavailable mode); recomputed on every plan build/refresh.
+  int64_t pruned_bytes() const { return pruned_bytes_; }
+
   // The (possibly record-adjusted) SLEDs driving the plan, in pick order.
   const SledVector& plan() const { return plan_; }
 
@@ -80,6 +92,8 @@ class SledsPicker {
   SledsPicker(SimKernel& kernel, Process& process, int fd, PickerOptions options);
 
   Result<void> BuildPlan();
+  // Drop unreachable sections (prune_unavailable), accumulating pruned_bytes_.
+  void PruneUnavailable(SledVector& sleds);
   // Pull low-latency SLED edges in to multiples of element_size (from
   // element_base); fragments join the higher-latency neighbour.
   void AdjustToElementBoundaries(SledVector& sleds) const;
@@ -104,6 +118,7 @@ class SledsPicker {
   size_t current_ = 0;    // index into plan_
   int64_t position_ = 0;  // next byte within plan_[current_]
   int picks_since_refresh_ = 0;
+  int64_t pruned_bytes_ = 0;
 };
 
 }  // namespace sled

@@ -36,6 +36,12 @@ struct Sled {
   // level that produced the estimate (0 = primary memory).
   int level = 0;
 
+  // Extension: the level was unreachable when the estimate was made (server
+  // down window). `latency` is ballooned to the kernel's unavailable penalty
+  // so latency-ordered consumers naturally defer the section; pickers may
+  // also prune it outright (PickerOptions::prune_unavailable).
+  bool unavailable = false;
+
   // Estimated time to deliver the whole section.
   Duration DeliveryTime() const {
     return SecondsF(latency) + TransferTime(length, bandwidth);

@@ -150,6 +150,8 @@ Result<std::vector<CalibrationRow>> CalibrateSledsTable(SimKernel& kernel, Proce
     }
     if (!fs->read_only()) {
       const std::string scratch = (mount == "/" ? "" : mount) + "/.sleds_calib";
+      // Not an error swallow: the scratch file only exists if the write probe
+      // ran; kNoEnt here is the normal read-only-probe case.
       (void)kernel.Unlink(process, scratch);
     }
   }

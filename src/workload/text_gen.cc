@@ -57,7 +57,7 @@ Result<int64_t> PlaceMarker(SimKernel& kernel, Process& process, std::string_vie
   SLED_ASSIGN_OR_RETURN(int fd, kernel.Open(process, path));
   SLED_ASSIGN_OR_RETURN(InodeAttr attr, kernel.Fstat(process, fd));
   if (attr.size < kGenLineLen) {
-    (void)kernel.Close(process, fd);
+    (void)kernel.Close(process, fd);  // error path: kInval is the real story
     return Err::kInval;
   }
   // Snap to the start of the generator line containing byte_offset; the last

@@ -288,6 +288,8 @@ Result<ReplayResult> ReplayTrace(SimKernel& kernel, const Trace& trace,
   // Close anything the trace left open (truncated captures).
   for (auto& [fd, session] : sessions) {
     const int real = session.real_fd < 0 ? ~session.real_fd : session.real_fd;
+    // Not an error swallow: best-effort cleanup; kBadF just means the trace
+    // already closed it.
     (void)kernel.Close(p, real);
   }
   return ReplayResult{p.stats().elapsed(), p.stats().major_faults};

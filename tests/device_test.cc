@@ -13,7 +13,7 @@ namespace {
 
 TEST(MemoryDeviceTest, CostIsLatencyPlusTransfer) {
   MemoryDevice mem(MemoryDeviceConfig{});
-  const Duration t = mem.Read(0, 4096);
+  const Duration t = mem.Read(0, 4096).value();
   EXPECT_NEAR(t.ToMicros(), 0.175 + 4096 / 48.0, 0.2);
   EXPECT_EQ(mem.stats().reads, 1);
   EXPECT_EQ(mem.stats().bytes_read, 4096);
@@ -29,8 +29,8 @@ TEST(DiskDeviceTest, NominalMatchesPaperTable2) {
 
 TEST(DiskDeviceTest, SequentialContinuationIsCheap) {
   DiskDevice disk(DiskDeviceConfig{});
-  const Duration first = disk.Read(0, MiB(1));
-  const Duration second = disk.Read(MiB(1), MiB(1));  // continues the stream
+  const Duration first = disk.Read(0, MiB(1)).value();
+  const Duration second = disk.Read(MiB(1), MiB(1)).value();  // continues the stream
   // Second read pays no seek/rotation: pure transfer.
   EXPECT_LT(second, first);
   EXPECT_NEAR(second.ToSeconds(), MiB(1) / disk.BandwidthAt(MiB(1)), 1e-3);
@@ -41,7 +41,7 @@ TEST(DiskDeviceTest, RandomAccessPaysSeekAndRotation) {
   DiskDeviceConfig config;
   DiskDevice disk(config);
   (void)disk.Read(0, kPageSize);
-  const Duration far = disk.Read(disk.capacity_bytes() - kPageSize, kPageSize);
+  const Duration far = disk.Read(disk.capacity_bytes() - kPageSize, kPageSize).value();
   // Full-stroke seek is close to max_seek plus up to one rotation.
   EXPECT_GT(far.ToMillis(), config.max_seek.ToMillis() * 0.9);
   EXPECT_EQ(disk.stats().repositions, 2);
@@ -92,9 +92,9 @@ TEST(CdRomDeviceTest, NominalMatchesPaperTable2) {
 TEST(CdRomDeviceTest, SeeksAreExpensiveStreamingIsNot) {
   CdRomDevice cd(CdRomDeviceConfig{});
   (void)cd.Read(0, MiB(1));
-  const Duration stream = cd.Read(MiB(1), MiB(1));
+  const Duration stream = cd.Read(MiB(1), MiB(1)).value();
   EXPECT_NEAR(stream.ToSeconds(), MiB(1) / 2.8e6, 1e-2);
-  const Duration seek = cd.Read(MiB(400), kPageSize);
+  const Duration seek = cd.Read(MiB(400), kPageSize).value();
   EXPECT_GT(seek.ToMillis(), 70.0);  // at least the minimum settle
 }
 
@@ -102,8 +102,8 @@ TEST(NetworkDeviceTest, FirstByteLatencyOnlyOnStreamBreak) {
   NetworkDeviceConfig config;
   config.latency_jitter = 0.0;
   NetworkDevice nfs(config);
-  const Duration first = nfs.Read(0, MiB(1));
-  const Duration cont = nfs.Read(MiB(1), MiB(1));
+  const Duration first = nfs.Read(0, MiB(1)).value();
+  const Duration cont = nfs.Read(MiB(1), MiB(1)).value();
   EXPECT_NEAR(first.ToSeconds() - cont.ToSeconds(), 0.270, 1e-3);
   EXPECT_NEAR(cont.ToSeconds(), MiB(1) / 1.0e6, 1e-2);
 }
@@ -118,7 +118,7 @@ TEST(TapeDeviceTest, FirstAccessPaysMountAndLocate) {
   TapeDeviceConfig config;
   TapeDevice tape(config);
   EXPECT_FALSE(tape.mounted());
-  const Duration t = tape.Read(0, MiB(1));
+  const Duration t = tape.Read(0, MiB(1)).value();
   EXPECT_TRUE(tape.mounted());
   // Load (40 s) dominates.
   EXPECT_GT(t.ToSeconds(), config.load_time.ToSeconds());
@@ -127,7 +127,7 @@ TEST(TapeDeviceTest, FirstAccessPaysMountAndLocate) {
 TEST(TapeDeviceTest, SequentialReadAvoidsLocate) {
   TapeDevice tape(TapeDeviceConfig{});
   (void)tape.Read(0, MiB(1));
-  const Duration cont = tape.Read(MiB(1), MiB(1));
+  const Duration cont = tape.Read(MiB(1), MiB(1)).value();
   EXPECT_NEAR(cont.ToSeconds(), MiB(1) / 1.5e6, 1e-2);
 }
 
@@ -167,7 +167,7 @@ TEST(AutochangerTest, MountOnDemandAndLruEviction) {
   TapeDeviceConfig tape_config;
   Autochanger changer(/*num_tapes=*/3, /*num_drives=*/1, tape_config);
   EXPECT_FALSE(changer.IsMounted(0));
-  const Duration t0 = changer.Read(0, 0, MiB(1));
+  const Duration t0 = changer.Read(0, 0, MiB(1)).value();
   EXPECT_TRUE(changer.IsMounted(0));
   EXPECT_GT(t0.ToSeconds(), tape_config.load_time.ToSeconds());
 
@@ -193,8 +193,8 @@ TEST(AutochangerTest, SecondDriveAvoidsEviction) {
 
 TEST(AutochangerTest, MountedReadIsMuchCheaperThanOffline) {
   Autochanger changer(/*num_tapes=*/2, /*num_drives=*/1, TapeDeviceConfig{});
-  const Duration cold = changer.Read(0, 0, MiB(1));
-  const Duration warm = changer.Read(0, MiB(1), MiB(1));
+  const Duration cold = changer.Read(0, 0, MiB(1)).value();
+  const Duration warm = changer.Read(0, MiB(1), MiB(1)).value();
   EXPECT_GT(cold.ToSeconds(), 10 * warm.ToSeconds());
 }
 
@@ -218,7 +218,7 @@ TEST_P(DeviceSweepTest, DiskReadsAreSaneAcrossOffsets) {
     const int64_t off =
         PageFloor(rng.Uniform(0, disk.capacity_bytes() - MiB(2)));
     const int64_t len = kPageSize * rng.Uniform(1, 256);
-    const Duration t = disk.Read(off, len);
+    const Duration t = disk.Read(off, len).value();
     EXPECT_GE(t.nanos(), 0);
     EXPECT_LT(t.ToSeconds(), 5.0);
     total_bytes += len;
