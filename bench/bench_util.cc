@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string_view>
 
 #include "src/common/units.h"
 
@@ -117,17 +119,103 @@ void PrintRatioFigure(const std::string& figure_id, const std::string& title,
   std::fputs(RenderPlot({ratio}, options).c_str(), stdout);
 }
 
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    if (c == '\n' || c == '\t') {
+      c = ' ';
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// One-line JSON object describing the binary and host that produced the
+// numbers, so wall-clock figures across PRs are comparable (sim-time fields
+// need no provenance — they are machine-independent).
+const std::string& BuildMetadataJson() {
+  static const std::string json = [] {
+#ifdef SLEDS_GIT_SHA
+    const char* sha = SLEDS_GIT_SHA;
+#else
+    const char* sha = "unknown";
+#endif
+#ifdef SLEDS_BUILD_TYPE
+    const char* build_type = SLEDS_BUILD_TYPE;
+#else
+    const char* build_type = "unknown";
+#endif
+#ifdef SLEDS_CXX_FLAGS
+    const char* flags = SLEDS_CXX_FLAGS;
+#else
+    const char* flags = "unknown";
+#endif
+    std::string cpu = "unknown";
+    if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+      char line[512];
+      while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, "model name", 10) == 0) {
+          if (const char* colon = std::strchr(line, ':')) {
+            cpu = colon + 1;
+            while (!cpu.empty() && (cpu.front() == ' ' || cpu.front() == '\t')) {
+              cpu.erase(cpu.begin());
+            }
+            while (!cpu.empty() && (cpu.back() == '\n' || cpu.back() == '\r')) {
+              cpu.pop_back();
+            }
+          }
+          break;
+        }
+      }
+      std::fclose(f);
+    }
+    std::string out = "{\"compiler\": \"";
+    out += JsonEscape(__VERSION__);
+    out += "\", \"build_type\": \"";
+    out += JsonEscape(build_type);
+    out += "\", \"flags\": \"";
+    out += JsonEscape(flags);
+    out += "\", \"cpu\": \"";
+    out += JsonEscape(cpu);
+    out += "\", \"git_sha\": \"";
+    out += JsonEscape(sha);
+    out += "\"}";
+    return out;
+  }();
+  return json;
+}
+
+// Splice the build block in as the first member of the top-level object.
+std::string StampBuildMetadata(const std::string& metrics_json) {
+  const size_t brace = metrics_json.find('{');
+  if (brace == std::string::npos) {
+    return metrics_json;
+  }
+  std::string stamped = metrics_json;
+  stamped.insert(brace + 1, "\n  \"build\": " + BuildMetadataJson() + ",");
+  return stamped;
+}
+
+}  // namespace
+
 void PrintBenchMetrics(const std::string& bench_id, const std::string& metrics_json) {
+  const std::string stamped = StampBuildMetadata(metrics_json);
   std::printf("\n==== BENCH_%s.json ====\n", bench_id.c_str());
-  std::fputs(metrics_json.c_str(), stdout);
-  if (!metrics_json.empty() && metrics_json.back() != '\n') {
+  std::fputs(stamped.c_str(), stdout);
+  if (!stamped.empty() && stamped.back() != '\n') {
     std::fputs("\n", stdout);
   }
   std::printf("==== END BENCH_%s.json ====\n", bench_id.c_str());
   if (const char* dir = std::getenv("SLEDS_BENCH_JSON_DIR")) {
     const std::string path = std::string(dir) + "/BENCH_" + bench_id + ".json";
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-      std::fputs(metrics_json.c_str(), f);
+      std::fputs(stamped.c_str(), f);
       std::fclose(f);
     } else {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());

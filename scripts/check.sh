@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate, a Release perf smoke over the wall-clock microbench suite, and
-# a sanitizer pass over the test suite.
+# Tier-1 gate, a Release perf-regression gate over the wall-clock bench suite,
+# and a sanitizer pass over the test suite.
 #
-#   scripts/check.sh             # tier-1, perf smoke, ASan+UBSan ctest
-#   SKIP_SAN=1 scripts/check.sh  # skip the sanitizer pass
-#   SKIP_PERF=1 scripts/check.sh # skip the perf smoke
+#   scripts/check.sh                  # tier-1, perf gate, ASan+UBSan ctest
+#   SKIP_SAN=1 scripts/check.sh       # skip the sanitizer pass
+#   SKIP_PERF=1 scripts/check.sh      # skip the Release perf stage entirely
+#   SKIP_PERF_GATE=1 scripts/check.sh # run the benches but don't fail on
+#                                     # regression (noisy/shared machines)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,14 +40,29 @@ echo "==== I/O scheduler bench: FIFO vs C-LOOK + coalescing ===="
 ./build/bench/bench_iosched
 
 if [[ "${SKIP_PERF:-}" == "1" ]]; then
-  echo "==== perf smoke skipped (SKIP_PERF=1) ===="
+  echo "==== perf stage skipped (SKIP_PERF=1) ===="
 else
-  echo "==== perf smoke: Release bench_micro wall-clock suite ===="
+  echo "==== perf gate: Release bench_micro + bench_scale vs baselines ===="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build build-release -j --target bench_micro
-  # Fails the gate on crash or hang; the emitted BENCH_micro.json reports the
-  # run-indexed vs naive speedups.
-  timeout 300 ./build-release/bench/bench_micro --benchmark_filter='BM_PageCacheTouchHit'
+  cmake --build build-release -j --target bench_micro bench_scale
+  perf_json_dir="$(mktemp -d)"
+  # Crash or hang in either bench fails the gate outright; the speedup
+  # comparison below only runs once both JSON blocks exist.
+  SLEDS_BENCH_JSON_DIR="${perf_json_dir}" timeout 300 \
+    ./build-release/bench/bench_micro --benchmark_filter='BM_PageCacheTouchHit'
+  SLEDS_BENCH_JSON_DIR="${perf_json_dir}" timeout 600 \
+    ./build-release/bench/bench_scale
+  if [[ "${SKIP_PERF_GATE:-}" == "1" ]]; then
+    echo "==== perf-regression comparison skipped (SKIP_PERF_GATE=1) ===="
+  elif command -v python3 >/dev/null 2>&1; then
+    # Compares speedup ratios (naive/indexed on the same run) against
+    # bench/baselines.json; fails on a >25% regression. Refresh baselines
+    # with scripts/perf_gate.py --refresh after intentional perf changes.
+    python3 scripts/perf_gate.py "${perf_json_dir}"
+  else
+    echo "==== perf-regression comparison skipped (python3 not found) ===="
+  fi
+  rm -rf "${perf_json_dir}"
 fi
 
 if [[ "${SKIP_SAN:-}" == "1" ]]; then

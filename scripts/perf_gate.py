@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare fresh BENCH_*.json speedups to baselines.
+
+Usage: perf_gate.py <current_json_dir> [baselines_json]
+
+Compares the `speedup` field of every workload recorded in bench/baselines.json
+against the matching BENCH_<bench>.json in <current_json_dir>. Speedup is a
+ratio (naive vs indexed wall time on the same machine, same run), so it is far
+more stable across hosts than raw microseconds. The gate fails when a workload
+loses more than 25% of its baseline speedup.
+
+Refresh the baselines after an intentional perf change:
+
+    SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_micro \
+        --benchmark_filter='BM_PageCacheTouchHit'
+    SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_scale
+    scripts/perf_gate.py --refresh /tmp/bj
+"""
+
+import json
+import os
+import sys
+
+TOLERANCE = 0.75  # current speedup must stay above baseline * TOLERANCE
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINES = os.path.join(REPO_ROOT, "bench", "baselines.json")
+
+
+def load_speedups(path):
+    """Return {workload: speedup} from one BENCH_*.json file."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for key, value in data.items():
+        if isinstance(value, dict) and "speedup" in value:
+            out[key] = float(value["speedup"])
+    return out
+
+
+def collect(json_dir, benches):
+    """Return {bench: {workload: speedup}} for the requested bench ids."""
+    result = {}
+    for bench in benches:
+        path = os.path.join(json_dir, f"BENCH_{bench}.json")
+        if not os.path.exists(path):
+            print(f"perf gate: FAIL — missing {path}")
+            sys.exit(1)
+        result[bench] = load_speedups(path)
+    return result
+
+
+def refresh(json_dir, baselines_path):
+    benches = ["micro", "scale"]
+    payload = {
+        "comment": "speedup (naive_us / indexed_us) baselines; "
+        "gate fails below baseline * %.2f. Refresh: scripts/perf_gate.py "
+        "--refresh <json_dir>" % TOLERANCE,
+        "benches": collect(json_dir, benches),
+    }
+    with open(baselines_path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"perf gate: baselines written to {baselines_path}")
+
+
+def check(json_dir, baselines_path):
+    with open(baselines_path) as f:
+        baselines = json.load(f)["benches"]
+    current = collect(json_dir, sorted(baselines))
+    failures = []
+    for bench, workloads in sorted(baselines.items()):
+        for workload, base in sorted(workloads.items()):
+            cur = current[bench].get(workload)
+            if cur is None:
+                failures.append(f"{bench}/{workload}: missing from current run")
+                continue
+            floor = base * TOLERANCE
+            verdict = "ok" if cur >= floor else "REGRESSED"
+            print(
+                f"  {bench}/{workload}: baseline {base:.2f}x, "
+                f"current {cur:.2f}x, floor {floor:.2f}x — {verdict}"
+            )
+            if cur < floor:
+                failures.append(
+                    f"{bench}/{workload}: {cur:.2f}x < {floor:.2f}x "
+                    f"(baseline {base:.2f}x)"
+                )
+    if failures:
+        print("perf gate: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print("perf gate: ok")
+
+
+def main():
+    args = sys.argv[1:]
+    if args and args[0] == "--refresh":
+        if len(args) < 2:
+            print(__doc__)
+            sys.exit(2)
+        refresh(args[1], args[2] if len(args) > 2 else DEFAULT_BASELINES)
+        return
+    if not args:
+        print(__doc__)
+        sys.exit(2)
+    check(args[0], args[1] if len(args) > 1 else DEFAULT_BASELINES)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Profile a bench binary with Linux perf and print the hot-spot report.
+#
+#   scripts/profile.sh bench_scale                 # profile bench_scale
+#   scripts/profile.sh bench_micro --benchmark_filter='BM_PageCacheTouchHit'
+#
+# Builds the `profile` CMake preset (RelWithDebInfo + -fno-omit-frame-pointer,
+# see CMakePresets.json) so call graphs resolve, records with perf, and prints
+# the top of `perf report`. The perf.data stays in build-profile/ for
+# interactive drill-down (`perf report -i build-profile/perf.data`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: scripts/profile.sh <bench_target> [args...]" >&2
+  exit 2
+fi
+target="$1"
+shift
+
+cmake --preset profile >/dev/null
+cmake --build --preset profile -j --target "${target}"
+
+bin="build-profile/bench/${target}"
+if [[ ! -x "${bin}" ]]; then
+  echo "error: ${bin} not built" >&2
+  exit 1
+fi
+
+if ! command -v perf >/dev/null 2>&1; then
+  echo "perf not found; running ${target} under 'time' instead" >&2
+  time "${bin}" "$@"
+  exit 0
+fi
+
+perf record -g --call-graph=fp -o build-profile/perf.data -- "${bin}" "$@"
+perf report -i build-profile/perf.data --stdio --percent-limit 1 | head -60
+echo
+echo "full data: perf report -i build-profile/perf.data"

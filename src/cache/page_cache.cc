@@ -5,48 +5,166 @@
 
 namespace sled {
 
-PageCache::PageCache(PageCacheConfig config) : config_(config) {
-  SLED_CHECK(config_.capacity_pages > 0, "page cache needs capacity");
+namespace {
+
+// Flat-vector bound helpers over the per-file run index: the run list is
+// sorted by `first`, so lower/upper bound on that field localise a page in
+// O(log runs).
+template <typename Runs>
+auto RunLowerBound(Runs& runs, int64_t page) {
+  return std::lower_bound(runs.begin(), runs.end(), page,
+                          [](const PageRun& r, int64_t p) { return r.first < p; });
 }
 
-bool PageCache::Touch(PageKey key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+template <typename Runs>
+auto RunUpperBound(Runs& runs, int64_t page) {
+  return std::upper_bound(runs.begin(), runs.end(), page,
+                          [](int64_t p, const PageRun& r) { return p < r.first; });
+}
+
+}  // namespace
+
+PageCache::PageCache(PageCacheConfig config) : config_(config) {
+  SLED_CHECK(config_.capacity_pages > 0, "page cache needs capacity");
+  // Frames are addressed by int32 throughout (intrusive links, hash slots).
+  SLED_CHECK(config_.capacity_pages <= (int64_t{1} << 30),
+             "page cache capacity exceeds frame-table addressing");
+  frames_.resize(static_cast<size_t>(config_.capacity_pages));
+  // At most half load so linear probes stay short even at full capacity.
+  size_t table_size = 16;
+  while (table_size < static_cast<size_t>(config_.capacity_pages) * 2) {
+    table_size <<= 1;
+  }
+  table_.assign(table_size, kNil);
+  table_mask_ = table_size - 1;
+  ResetFrames();
+}
+
+void PageCache::ResetFrames() {
+  free_head_ = kNil;
+  for (int32_t f = static_cast<int32_t>(frames_.size()) - 1; f >= 0; --f) {
+    frames_[f] = Frame{};
+    frames_[f].next_ = free_head_;
+    free_head_ = f;
+  }
+}
+
+int32_t PageCache::FindFrame(PageKey key) const {
+  size_t i = HomeSlot(key);
+  while (true) {
+    const int32_t f = table_[i];
+    if (f == kNil) {
+      return kNil;
+    }
+    if (frames_[f].key_ == key) {
+      return f;
+    }
+    i = (i + 1) & table_mask_;
+  }
+}
+
+void PageCache::TableInsert(PageKey key, int32_t frame) {
+  size_t i = HomeSlot(key);
+  while (table_[i] != kNil) {
+    i = (i + 1) & table_mask_;
+  }
+  table_[i] = frame;
+}
+
+void PageCache::TableErase(PageKey key) {
+  size_t i = HomeSlot(key);
+  while (true) {
+    const int32_t f = table_[i];
+    SLED_CHECK(f != kNil, "hash table missing key on erase");
+    if (frames_[f].key_ == key) {
+      break;
+    }
+    i = (i + 1) & table_mask_;
+  }
+  // Backward-shift deletion: walk the probe chain past the hole and pull back
+  // any entry whose home slot lies cyclically at or before the hole, keeping
+  // every chain contiguous without tombstones.
+  size_t j = i;
+  while (true) {
+    j = (j + 1) & table_mask_;
+    const int32_t f = table_[j];
+    if (f == kNil) {
+      break;
+    }
+    const size_t home = HomeSlot(frames_[f].key_);
+    if (((i - home) & table_mask_) < ((j - home) & table_mask_)) {
+      table_[i] = f;
+      i = j;
+    }
+  }
+  table_[i] = kNil;
+}
+
+void PageCache::ListUnlink(int32_t frame) {
+  Frame& fr = frames_[frame];
+  if (fr.prev_ != kNil) {
+    frames_[fr.prev_].next_ = fr.next_;
+  } else {
+    head_ = fr.next_;
+  }
+  if (fr.next_ != kNil) {
+    frames_[fr.next_].prev_ = fr.prev_;
+  } else {
+    tail_ = fr.prev_;
+  }
+  fr.prev_ = kNil;
+  fr.next_ = kNil;
+}
+
+void PageCache::ListPushBack(int32_t frame) {
+  Frame& fr = frames_[frame];
+  fr.prev_ = tail_;
+  fr.next_ = kNil;
+  if (tail_ != kNil) {
+    frames_[tail_].next_ = frame;
+  } else {
+    head_ = frame;
+  }
+  tail_ = frame;
+}
+
+PageCache::Frame* PageCache::TouchProbe(PageKey key) {
+  const int32_t f = FindFrame(key);
+  if (f == kNil) {
     ++stats_.misses;
-    return false;
+    return nullptr;
   }
   ++stats_.hits;
   if (config_.policy == ReplacementPolicy::kLru) {
-    order_.splice(order_.end(), order_, it->second.lru_it);
+    MoveToBack(f);
   } else {
-    it->second.referenced = true;
+    frames_[f].referenced_ = true;
   }
-  return true;
+  return &frames_[f];
 }
 
 void PageCache::IndexInsert(FileId file, int64_t page) {
   FileIndex& fi = index_[file];
-  auto next = fi.runs.lower_bound(page);
+  auto next = RunLowerBound(fi.runs, page);
   SLED_CHECK(next == fi.runs.end() || next->first != page, "index already holds page");
   bool merge_left = false;
   auto prev = fi.runs.end();
   if (next != fi.runs.begin()) {
     prev = std::prev(next);
-    SLED_CHECK(prev->first + prev->second <= page, "index run overlaps inserted page");
-    merge_left = prev->first + prev->second == page;
+    SLED_CHECK(prev->end() <= page, "index run overlaps inserted page");
+    merge_left = prev->end() == page;
   }
   const bool merge_right = next != fi.runs.end() && next->first == page + 1;
   if (merge_left && merge_right) {
-    prev->second += 1 + next->second;
+    prev->count += 1 + next->count;
     fi.runs.erase(next);
   } else if (merge_left) {
-    prev->second += 1;
+    prev->count += 1;
   } else if (merge_right) {
-    const int64_t count = next->second + 1;
-    fi.runs.erase(next);
-    fi.runs.emplace(page, count);
+    next->first = page;
+    next->count += 1;
   } else {
-    fi.runs.emplace(page, 1);
+    fi.runs.insert(next, PageRun{page, 1});
   }
 }
 
@@ -54,104 +172,142 @@ void PageCache::IndexRemove(FileId file, int64_t page) {
   auto fit = index_.find(file);
   SLED_CHECK(fit != index_.end(), "index missing file on remove");
   FileIndex& fi = fit->second;
-  auto it = fi.runs.upper_bound(page);
+  auto it = RunUpperBound(fi.runs, page);
   SLED_CHECK(it != fi.runs.begin(), "index missing page on remove");
   --it;
-  const int64_t first = it->first;
-  const int64_t count = it->second;
-  SLED_CHECK(page >= first && page < first + count, "index missing page on remove");
-  fi.runs.erase(it);
-  if (page > first) {
-    fi.runs.emplace(first, page - first);
+  SLED_CHECK(page >= it->first && page < it->end(), "index missing page on remove");
+  if (it->count == 1) {
+    fi.runs.erase(it);
+  } else if (page == it->first) {
+    it->first += 1;
+    it->count -= 1;
+  } else if (page == it->end() - 1) {
+    it->count -= 1;
+  } else {
+    const int64_t old_end = it->end();
+    it->count = page - it->first;
+    fi.runs.insert(std::next(it), PageRun{page + 1, old_end - page - 1});
   }
-  if (page + 1 < first + count) {
-    fi.runs.emplace(page + 1, first + count - page - 1);
+  auto dit = std::lower_bound(fi.dirty.begin(), fi.dirty.end(), page);
+  if (dit != fi.dirty.end() && *dit == page) {
+    fi.dirty.erase(dit);
   }
-  fi.dirty.erase(page);
   if (fi.runs.empty()) {
     index_.erase(fit);
   }
 }
 
-void PageCache::DropEntry(const PageKey& key) {
-  auto it = entries_.find(key);
-  SLED_CHECK(it != entries_.end(), "dropping non-resident page");
-  if (it->second.pinned) {
+void PageCache::DirtyInsert(FileId file, int64_t page) {
+  FileIndex& fi = index_[file];
+  auto it = std::lower_bound(fi.dirty.begin(), fi.dirty.end(), page);
+  if (it == fi.dirty.end() || *it != page) {
+    fi.dirty.insert(it, page);
+  }
+}
+
+void PageCache::DropFrame(int32_t frame) {
+  Frame& fr = frames_[frame];
+  SLED_CHECK(fr.in_use_, "dropping non-resident frame");
+  if (fr.pinned_) {
     --pinned_;
   }
-  if (it->second.in_flight) {
+  if (fr.in_flight_) {
     --in_flight_;
   }
-  order_.erase(it->second.lru_it);
-  entries_.erase(it);
+  ListUnlink(frame);
+  TableErase(fr.key_);
+  fr.in_use_ = false;
+  fr.dirty_ = false;
+  fr.referenced_ = false;
+  fr.pinned_ = false;
+  fr.in_flight_ = false;
+  fr.next_ = free_head_;
+  free_head_ = frame;
+  --size_;
+}
+
+void PageCache::Freshen(Frame* frame, bool dirty) {
+  frame->dirty_ = frame->dirty_ || dirty;
+  if (dirty) {
+    DirtyInsert(frame->key_.file, frame->key_.page);
+  }
+  if (config_.policy == ReplacementPolicy::kLru) {
+    MoveToBack(IndexOf(frame));
+  } else {
+    frame->referenced_ = true;
+  }
 }
 
 std::optional<EvictedPage> PageCache::Insert(PageKey key, bool dirty, bool in_flight) {
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
+  if (Frame* frame = Probe(key)) {
     // Re-insert of a resident page: refresh recency, accumulate dirtiness.
-    it->second.dirty = it->second.dirty || dirty;
-    if (dirty) {
-      index_[key.file].dirty.insert(key.page);
-    }
-    if (config_.policy == ReplacementPolicy::kLru) {
-      order_.splice(order_.end(), order_, it->second.lru_it);
-    } else {
-      it->second.referenced = true;
-    }
+    Freshen(frame, dirty);
     return std::nullopt;
   }
+  return InsertNew(key, dirty, in_flight);
+}
 
+std::optional<EvictedPage> PageCache::InsertIfAbsent(PageKey key, bool dirty,
+                                                     bool in_flight) {
+  if (FindFrame(key) != kNil) {
+    return std::nullopt;
+  }
+  return InsertNew(key, dirty, in_flight);
+}
+
+std::optional<EvictedPage> PageCache::InsertNew(PageKey key, bool dirty, bool in_flight) {
   std::optional<EvictedPage> evicted;
-  if (size_pages() >= config_.capacity_pages) {
+  if (size_ >= config_.capacity_pages) {
     evicted = EvictOne();
   }
-  order_.push_back(key);
-  Entry entry;
-  entry.lru_it = std::prev(order_.end());
-  entry.dirty = dirty;
-  entry.referenced = false;  // Clock inserts behind the hand, one sweep to live
-  entry.in_flight = in_flight;
+  const int32_t frame = free_head_;
+  SLED_CHECK(frame != kNil, "frame table out of free frames");
+  Frame& fr = frames_[frame];
+  free_head_ = fr.next_;
+  fr.key_ = key;
+  fr.in_use_ = true;
+  fr.dirty_ = dirty;
+  fr.referenced_ = false;  // Clock inserts behind the hand, one sweep to live
+  fr.pinned_ = false;
+  fr.in_flight_ = in_flight;
   if (in_flight) {
     ++in_flight_;
   }
-  entries_.emplace(key, entry);
+  ListPushBack(frame);
+  TableInsert(key, frame);
   IndexInsert(key.file, key.page);
   if (dirty) {
-    index_[key.file].dirty.insert(key.page);
+    DirtyInsert(key.file, key.page);
   }
+  ++size_;
   ++stats_.insertions;
   return evicted;
 }
 
 EvictedPage PageCache::EvictOne() {
-  SLED_CHECK(!order_.empty(), "evicting from empty cache");
+  SLED_CHECK(head_ != kNil, "evicting from empty cache");
   // Walk the ring from the front, skipping pinned pages. Under Clock,
   // referenced pages get their bit cleared and cycle to the back (second
   // chance); a second sweep then finds a victim. Pin() bounds pinned pages
   // to half the capacity, so an unpinned victim always exists.
   for (int sweep = 0; sweep < 3; ++sweep) {
-    auto it = order_.begin();
-    while (it != order_.end()) {
-      auto entry_it = entries_.find(*it);
-      SLED_CHECK(entry_it != entries_.end(), "ring out of sync with entry map");
-      if (entry_it->second.pinned || entry_it->second.in_flight) {
-        ++it;
+    int32_t f = head_;
+    while (f != kNil) {
+      Frame& fr = frames_[f];
+      const int32_t next = fr.next_;
+      if (fr.pinned_ || fr.in_flight_) {
+        f = next;
         continue;
       }
-      if (config_.policy == ReplacementPolicy::kClock && entry_it->second.referenced) {
-        entry_it->second.referenced = false;
-        auto next = std::next(it);
-        order_.splice(order_.end(), order_, it);
-        entry_it->second.lru_it = std::prev(order_.end());
-        it = next;
+      if (config_.policy == ReplacementPolicy::kClock && fr.referenced_) {
+        fr.referenced_ = false;
+        MoveToBack(f);  // re-examined later this same sweep, now unreferenced
+        f = next;
         continue;
       }
-      const PageKey victim = *it;
-      EvictedPage evicted{victim, entry_it->second.dirty};
-      order_.erase(it);
-      entries_.erase(entry_it);
-      IndexRemove(victim.file, victim.page);
+      EvictedPage evicted{fr.key_, fr.dirty_};
+      IndexRemove(fr.key_.file, fr.key_.page);
+      DropFrame(f);
       ++stats_.evictions;
       if (evicted.dirty) {
         ++stats_.dirty_evictions;
@@ -164,61 +320,67 @@ EvictedPage PageCache::EvictOne() {
 }
 
 void PageCache::MarkArrived(PageKey key) {
-  auto it = entries_.find(key);
-  if (it != entries_.end() && it->second.in_flight) {
-    it->second.in_flight = false;
+  Frame* frame = Probe(key);
+  if (frame != nullptr && frame->in_flight_) {
+    frame->in_flight_ = false;
     --in_flight_;
   }
 }
 
 bool PageCache::IsInFlight(PageKey key) const {
-  auto it = entries_.find(key);
-  return it != entries_.end() && it->second.in_flight;
+  const Frame* frame = Probe(key);
+  return frame != nullptr && frame->in_flight_;
 }
 
-bool PageCache::Pin(PageKey key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end() || pinned_ >= config_.capacity_pages / 2) {
+bool PageCache::Pin(PageKey key) { return Pin(Probe(key)); }
+
+bool PageCache::Pin(Frame* frame) {
+  if (frame == nullptr || pinned_ >= config_.capacity_pages / 2) {
     return false;
   }
-  if (!it->second.pinned) {
-    it->second.pinned = true;
+  if (!frame->pinned_) {
+    frame->pinned_ = true;
     ++pinned_;
   }
   return true;
 }
 
 void PageCache::Unpin(PageKey key) {
-  auto it = entries_.find(key);
-  if (it != entries_.end() && it->second.pinned) {
-    it->second.pinned = false;
+  Frame* frame = Probe(key);
+  if (frame != nullptr && frame->pinned_) {
+    frame->pinned_ = false;
     --pinned_;
   }
 }
 
 bool PageCache::IsPinned(PageKey key) const {
-  auto it = entries_.find(key);
-  return it != entries_.end() && it->second.pinned;
+  const Frame* frame = Probe(key);
+  return frame != nullptr && frame->pinned_;
 }
 
 void PageCache::MarkDirty(PageKey key) {
-  auto it = entries_.find(key);
-  SLED_CHECK(it != entries_.end(), "MarkDirty on non-resident page");
-  it->second.dirty = true;
-  index_[key.file].dirty.insert(key.page);
+  Frame* frame = Probe(key);
+  SLED_CHECK(frame != nullptr, "MarkDirty on non-resident page");
+  MarkDirty(frame);
+}
+
+void PageCache::MarkDirty(Frame* frame) {
+  frame->dirty_ = true;
+  DirtyInsert(frame->key_.file, frame->key_.page);
 }
 
 bool PageCache::IsDirty(PageKey key) const {
-  auto it = entries_.find(key);
-  return it != entries_.end() && it->second.dirty;
+  const Frame* frame = Probe(key);
+  return frame != nullptr && frame->dirty_;
 }
 
 void PageCache::Remove(PageKey key) {
-  if (!entries_.contains(key)) {
+  const int32_t frame = FindFrame(key);
+  if (frame == kNil) {
     return;
   }
-  DropEntry(key);
   IndexRemove(key.file, key.page);
+  DropFrame(frame);
 }
 
 void PageCache::RemoveFile(FileId file) {
@@ -226,9 +388,11 @@ void PageCache::RemoveFile(FileId file) {
   if (fit == index_.end()) {
     return;
   }
-  for (const auto& [first, count] : fit->second.runs) {
-    for (int64_t page = first; page < first + count; ++page) {
-      DropEntry({file, page});
+  for (const PageRun& run : fit->second.runs) {
+    for (int64_t page = run.first; page < run.end(); ++page) {
+      const int32_t frame = FindFrame({file, page});
+      SLED_CHECK(frame != kNil, "index out of sync with frame table");
+      DropFrame(frame);
     }
   }
   index_.erase(fit);
@@ -240,25 +404,30 @@ void PageCache::RemovePagesFrom(FileId file, int64_t first_page) {
     return;
   }
   FileIndex& fi = fit->second;
-  auto it = fi.runs.lower_bound(first_page);
+  auto it = RunLowerBound(fi.runs, first_page);
   // A run straddling first_page keeps its head and loses its tail.
   if (it != fi.runs.begin()) {
     auto prev = std::prev(it);
-    const int64_t prev_end = prev->first + prev->second;
+    const int64_t prev_end = prev->end();
     if (prev_end > first_page) {
       for (int64_t page = first_page; page < prev_end; ++page) {
-        DropEntry({file, page});
+        const int32_t frame = FindFrame({file, page});
+        SLED_CHECK(frame != kNil, "index out of sync with frame table");
+        DropFrame(frame);
       }
-      prev->second = first_page - prev->first;
+      prev->count = first_page - prev->first;
     }
   }
-  while (it != fi.runs.end()) {
-    for (int64_t page = it->first; page < it->first + it->second; ++page) {
-      DropEntry({file, page});
+  for (auto run = it; run != fi.runs.end(); ++run) {
+    for (int64_t page = run->first; page < run->end(); ++page) {
+      const int32_t frame = FindFrame({file, page});
+      SLED_CHECK(frame != kNil, "index out of sync with frame table");
+      DropFrame(frame);
     }
-    it = fi.runs.erase(it);
   }
-  fi.dirty.erase(fi.dirty.lower_bound(first_page), fi.dirty.end());
+  fi.runs.erase(it, fi.runs.end());
+  fi.dirty.erase(std::lower_bound(fi.dirty.begin(), fi.dirty.end(), first_page),
+                 fi.dirty.end());
   if (fi.runs.empty()) {
     index_.erase(fit);
   }
@@ -277,15 +446,15 @@ std::optional<PageRun> PageCache::ResidentRunAt(FileId file, int64_t page) const
     return std::nullopt;
   }
   const auto& runs = fit->second.runs;
-  auto it = runs.upper_bound(page);
+  auto it = RunUpperBound(runs, page);
   if (it == runs.begin()) {
     return std::nullopt;
   }
   --it;
-  if (page >= it->first + it->second) {
+  if (page >= it->end()) {
     return std::nullopt;
   }
-  return PageRun{it->first, it->second};
+  return *it;
 }
 
 std::optional<PageRun> PageCache::NextResidentRun(FileId file, int64_t from) const {
@@ -294,30 +463,25 @@ std::optional<PageRun> PageCache::NextResidentRun(FileId file, int64_t from) con
     return std::nullopt;
   }
   const auto& runs = fit->second.runs;
-  auto it = runs.upper_bound(from);
+  auto it = RunUpperBound(runs, from);
   if (it != runs.begin()) {
     auto prev = std::prev(it);
-    if (prev->first + prev->second > from) {
-      return PageRun{prev->first, prev->second};
+    if (prev->end() > from) {
+      return *prev;
     }
   }
   if (it == runs.end()) {
     return std::nullopt;
   }
-  return PageRun{it->first, it->second};
+  return *it;
 }
 
 std::vector<PageRun> PageCache::ResidentRunsOf(FileId file) const {
-  std::vector<PageRun> runs;
   auto fit = index_.find(file);
   if (fit == index_.end()) {
-    return runs;
+    return {};
   }
-  runs.reserve(fit->second.runs.size());
-  for (const auto& [first, count] : fit->second.runs) {
-    runs.push_back(PageRun{first, count});
-  }
-  return runs;
+  return fit->second.runs;
 }
 
 int64_t PageCache::ResidentRunCountOf(FileId file) const {
@@ -340,7 +504,7 @@ std::vector<PageKey> PageCache::DirtyPagesOf(FileId file) const {
 
 std::vector<PageKey> PageCache::AllDirtyPages() const {
   // (file, page) order without touching clean entries: visit the files with
-  // dirty pages in id order, then each ordered dirty set.
+  // dirty pages in id order, then each ordered dirty list.
   std::vector<FileId> files;
   size_t total = 0;
   for (const auto& [file, fi] : index_) {
@@ -361,20 +525,27 @@ std::vector<PageKey> PageCache::AllDirtyPages() const {
 }
 
 void PageCache::Clear() {
-  entries_.clear();
   index_.clear();
-  order_.clear();
+  std::fill(table_.begin(), table_.end(), kNil);
+  head_ = kNil;
+  tail_ = kNil;
+  size_ = 0;
   pinned_ = 0;
   in_flight_ = 0;
+  ResetFrames();
 }
 
 void PageCache::MarkClean(PageKey key) {
-  auto it = entries_.find(key);
-  SLED_CHECK(it != entries_.end(), "MarkClean on non-resident page");
-  it->second.dirty = false;
+  Frame* frame = Probe(key);
+  SLED_CHECK(frame != nullptr, "MarkClean on non-resident page");
+  frame->dirty_ = false;
   auto fit = index_.find(key.file);
   SLED_CHECK(fit != index_.end(), "index missing file on MarkClean");
-  fit->second.dirty.erase(key.page);
+  auto& dirty = fit->second.dirty;
+  auto dit = std::lower_bound(dirty.begin(), dirty.end(), key.page);
+  if (dit != dirty.end() && *dit == key.page) {
+    dirty.erase(dit);
+  }
 }
 
 std::vector<int64_t> PageCache::ResidentPagesOf(FileId file) const {
@@ -383,8 +554,8 @@ std::vector<int64_t> PageCache::ResidentPagesOf(FileId file) const {
   if (fit == index_.end()) {
     return pages;
   }
-  for (const auto& [first, count] : fit->second.runs) {
-    for (int64_t page = first; page < first + count; ++page) {
+  for (const PageRun& run : fit->second.runs) {
+    for (int64_t page = run.first; page < run.end(); ++page) {
       pages.push_back(page);
     }
   }
@@ -392,20 +563,28 @@ std::vector<int64_t> PageCache::ResidentPagesOf(FileId file) const {
 }
 
 bool PageCache::ValidateIndex() const {
-  size_t indexed_pages = 0;
+  int64_t indexed_pages = 0;
   for (const auto& [file, fi] : index_) {
     if (fi.runs.empty()) {
       return false;  // empty FileIndex entries must be garbage-collected
     }
+    if (!std::is_sorted(fi.dirty.begin(), fi.dirty.end()) ||
+        std::adjacent_find(fi.dirty.begin(), fi.dirty.end()) != fi.dirty.end()) {
+      return false;  // dirty list must be sorted and duplicate-free
+    }
     int64_t prev_end = std::numeric_limits<int64_t>::min();
-    for (const auto& [first, count] : fi.runs) {
-      if (count <= 0 || first <= prev_end) {
+    for (const PageRun& run : fi.runs) {
+      if (run.count <= 0 || run.first <= prev_end) {
         return false;  // runs must be non-empty, ordered, and non-adjacent
       }
-      prev_end = first + count;
-      for (int64_t page = first; page < first + count; ++page) {
-        auto it = entries_.find({file, page});
-        if (it == entries_.end() || it->second.dirty != fi.dirty.contains(page)) {
+      prev_end = run.end();
+      for (int64_t page = run.first; page < run.end(); ++page) {
+        const int32_t f = FindFrame({file, page});
+        if (f == kNil || !frames_[f].in_use_) {
+          return false;
+        }
+        const bool in_dirty = std::binary_search(fi.dirty.begin(), fi.dirty.end(), page);
+        if (frames_[f].dirty_ != in_dirty) {
           return false;
         }
         ++indexed_pages;
@@ -417,7 +596,48 @@ bool PageCache::ValidateIndex() const {
       }
     }
   }
-  return indexed_pages == entries_.size();
+  if (indexed_pages != size_) {
+    return false;
+  }
+  // The recency list holds exactly the in-use frames, with consistent links.
+  int64_t list_count = 0;
+  int32_t prev = kNil;
+  for (int32_t f = head_; f != kNil; prev = f, f = frames_[f].next_) {
+    if (!frames_[f].in_use_ || frames_[f].prev_ != prev) {
+      return false;
+    }
+    if (++list_count > size_) {
+      return false;  // cycle
+    }
+  }
+  if (list_count != size_ || tail_ != prev) {
+    return false;
+  }
+  // The free list holds exactly the remaining frames.
+  int64_t free_count = 0;
+  for (int32_t f = free_head_; f != kNil; f = frames_[f].next_) {
+    if (frames_[f].in_use_) {
+      return false;
+    }
+    if (++free_count > static_cast<int64_t>(frames_.size())) {
+      return false;  // cycle
+    }
+  }
+  if (list_count + free_count != static_cast<int64_t>(frames_.size())) {
+    return false;
+  }
+  // Every hash-table slot refers to an in-use frame; one slot per page.
+  int64_t table_count = 0;
+  for (int32_t f : table_) {
+    if (f == kNil) {
+      continue;
+    }
+    if (!frames_[f].in_use_) {
+      return false;
+    }
+    ++table_count;
+  }
+  return table_count == size_;
 }
 
 }  // namespace sled

@@ -9,21 +9,26 @@
 // file systems' backing stores (this is a performance simulation, the data
 // plane is handled by the FS layer).
 //
-// Alongside the (file, page) hash map, the cache maintains a per-file
-// *residency index*: the ordered maximal runs of contiguous resident pages
-// plus an ordered per-file dirty set. Per-file questions — "where is the
-// next miss?", "which runs are cached?", "which pages are dirty?" — are
-// answered from the index in O(log runs) / O(file entries) instead of
+// Storage layout (DESIGN.md §9): a single slab of `Frame` structs — one per
+// capacity page, allocated once at construction — carries the entry bits
+// (dirty/referenced/pinned/in-flight), the PageKey, and intrusive prev/next
+// frame indices forming the LRU list / Clock ring. Lookups go through an
+// open-addressing (linear-probe, backward-shift deletion, tombstone-free)
+// PageKey → frame-index table sized to at most half load, and a free list
+// threaded through unused frames makes Insert/Evict allocation-free. No hot
+// path allocates or chases list/map nodes.
+//
+// Alongside the frame table, the cache maintains a per-file *residency
+// index*: the ordered maximal runs of contiguous resident pages plus an
+// ordered per-file dirty page list, both flat sorted vectors. Per-file
+// questions — "where is the next miss?", "which runs are cached?", "which
+// pages are dirty?" — are answered from the index in O(log runs) instead of
 // probing every page or scanning the whole cache (see DESIGN.md §6).
 #ifndef SLEDS_SRC_CACHE_PAGE_CACHE_H_
 #define SLEDS_SRC_CACHE_PAGE_CACHE_H_
 
 #include <cstdint>
-#include <functional>
-#include <list>
-#include <map>
 #include <optional>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -91,6 +96,30 @@ struct PageRun {
 
 class PageCache {
  public:
+  // One slab slot. Callers may read the flag bits through a Frame* returned
+  // by Probe()/TouchProbe() to avoid re-probing the hash table; all mutation
+  // goes through PageCache methods. A Frame* stays valid until the next call
+  // that can insert or remove a page (Insert/Remove/Evict/Clear/...).
+  class Frame {
+   public:
+    const PageKey& key() const { return key_; }
+    bool dirty() const { return dirty_; }
+    bool referenced() const { return referenced_; }
+    bool pinned() const { return pinned_; }
+    bool in_flight() const { return in_flight_; }
+
+   private:
+    friend class PageCache;
+    PageKey key_;
+    int32_t prev_ = -1;  // intrusive recency list / free list links
+    int32_t next_ = -1;
+    bool in_use_ = false;
+    bool dirty_ = false;
+    bool referenced_ = false;  // Clock reference bit
+    bool pinned_ = false;      // exempt from eviction (SLED lock)
+    bool in_flight_ = false;   // transfer dispatched, data not yet arrived
+  };
+
   explicit PageCache(PageCacheConfig config);
 
   PageCache(const PageCache&) = delete;
@@ -98,11 +127,26 @@ class PageCache {
 
   // Residency probe without touching replacement state. This is what the
   // kernel SLED scan uses: observing the cache must not perturb it.
-  bool Contains(PageKey key) const { return entries_.contains(key); }
+  bool Contains(PageKey key) const { return FindFrame(key) != kNil; }
+
+  // Single-probe residency lookup: the resident frame, or nullptr. Does not
+  // touch replacement state or hit/miss counters — pair with Freshen()/
+  // MarkDirty(Frame*)/Pin(Frame*) to act on the result without re-probing.
+  Frame* Probe(PageKey key) {
+    const int32_t f = FindFrame(key);
+    return f == kNil ? nullptr : &frames_[f];
+  }
+  const Frame* Probe(PageKey key) const {
+    const int32_t f = FindFrame(key);
+    return f == kNil ? nullptr : &frames_[f];
+  }
 
   // Access a page: on hit, updates recency and returns true; on miss returns
   // false (caller schedules device I/O and then Insert()s).
-  bool Touch(PageKey key);
+  bool Touch(PageKey key) { return TouchProbe(key) != nullptr; }
+  // Touch that also hands back the frame on a hit (single probe for callers
+  // that need the entry bits as well as the recency update).
+  Frame* TouchProbe(PageKey key);
 
   // Insert a page (newly read, or newly written when `dirty`). If the cache
   // is full, evicts one page chosen by the policy and returns it. Inserting a
@@ -114,6 +158,12 @@ class PageCache {
   // evicted or re-used until MarkArrived(). The engine bounds in-flight pages
   // well below capacity, so an evictable page always exists.
   std::optional<EvictedPage> Insert(PageKey key, bool dirty, bool in_flight = false);
+  // Insert only if not resident; a resident page is left completely untouched
+  // (no recency refresh, no dirty accumulation). One probe decides.
+  std::optional<EvictedPage> InsertIfAbsent(PageKey key, bool dirty, bool in_flight = false);
+  // The resident-reinsert half of Insert() for callers already holding the
+  // frame: refresh recency (or the reference bit) and OR in dirtiness.
+  void Freshen(Frame* frame, bool dirty);
 
   // Clear the in-flight flag once the simulated clock reaches the page's
   // arrival time. No-op when not resident or not in flight.
@@ -123,6 +173,7 @@ class PageCache {
 
   // Mark a resident page dirty. Requires residency.
   void MarkDirty(PageKey key);
+  void MarkDirty(Frame* frame);
   bool IsDirty(PageKey key) const;
 
   // Pin a resident page: pinned pages are never chosen for eviction (the
@@ -131,13 +182,14 @@ class PageCache {
   // eviction always possible, at most half the capacity may be pinned;
   // beyond that Pin() refuses. Pinning a non-resident page also fails.
   bool Pin(PageKey key);
+  bool Pin(Frame* frame);  // same, for a frame already in hand
   void Unpin(PageKey key);
   bool IsPinned(PageKey key) const;
   int64_t pinned_pages() const { return pinned_; }
 
   // Drop a page / every page of a file (truncate, unlink). Dirty contents are
   // discarded — callers flush first if the data matters. RemoveFile and
-  // RemovePagesFrom walk the file's residency index, not the global map.
+  // RemovePagesFrom walk the file's residency index, not the frame table.
   void Remove(PageKey key);
   void RemoveFile(FileId file);
   // Drop every resident page of `file` with index >= first_page (truncate).
@@ -160,9 +212,11 @@ class PageCache {
   // Number of maximal resident runs of `file` (SledVector sizing).
   int64_t ResidentRunCountOf(FileId file) const;
 
-  // Full consistency audit of the residency index against the entry map:
-  // runs are maximal/disjoint/ordered, cover exactly the resident pages, and
-  // the per-file dirty sets mirror the entry dirty bits. O(n); test support.
+  // Full consistency audit of the residency index and the frame table: runs
+  // are maximal/disjoint/ordered and cover exactly the in-use frames, the
+  // per-file dirty lists mirror the frame dirty bits, the hash table maps
+  // every resident key to its frame, and the recency + free lists together
+  // account for every frame exactly once. O(n); test support.
   bool ValidateIndex() const;
 
   // Dirty pages of one file, in page order (fsync support).
@@ -174,8 +228,10 @@ class PageCache {
   // Clear the dirty bit after writeback.
   void MarkClean(PageKey key);
 
-  int64_t size_pages() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t size_pages() const { return size_; }
   int64_t capacity_pages() const { return config_.capacity_pages; }
+  // Files with at least one resident page (occupancy gauges).
+  int64_t resident_file_count() const { return static_cast<int64_t>(index_.size()); }
   const PageCacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PageCacheStats{}; }
 
@@ -184,40 +240,65 @@ class PageCache {
   std::vector<int64_t> ResidentPagesOf(FileId file) const;
 
  private:
-  struct Entry {
-    std::list<PageKey>::iterator lru_it;  // valid under kLru
-    bool dirty = false;
-    bool referenced = false;  // Clock reference bit
-    bool pinned = false;      // exempt from eviction (SLED lock)
-    bool in_flight = false;   // transfer dispatched, data not yet arrived
+  static constexpr int32_t kNil = -1;
+
+  // Per-file ordered residency index: the maximal resident runs plus the
+  // ordered dirty pages, both flat sorted vectors (no node allocation; a
+  // mutation shifts O(runs) POD elements, and runs-per-file stays small).
+  // Kept incrementally in sync with the frame table by every mutation; files
+  // with no resident pages have no FileIndex.
+  struct FileIndex {
+    std::vector<PageRun> runs;   // sorted by first page, disjoint, maximal
+    std::vector<int64_t> dirty;  // sorted, unique, subset of resident pages
   };
 
-  // Per-file ordered residency index: the maximal resident runs (first page
-  // -> length) plus the ordered set of dirty pages. Kept incrementally in
-  // sync with `entries_` by every mutation; files with no resident pages
-  // have no FileIndex.
-  struct FileIndex {
-    std::map<int64_t, int64_t> runs;  // first page -> run length
-    std::set<int64_t> dirty;
-  };
+  int32_t IndexOf(const Frame* frame) const {
+    return static_cast<int32_t>(frame - frames_.data());
+  }
+  size_t HomeSlot(PageKey key) const { return PageKeyHash{}(key) & table_mask_; }
+
+  // Hash-table primitives: linear probing, backward-shift deletion.
+  int32_t FindFrame(PageKey key) const;
+  void TableInsert(PageKey key, int32_t frame);
+  void TableErase(PageKey key);
+
+  // Intrusive recency-list primitives (head = least recently used).
+  void ListUnlink(int32_t frame);
+  void ListPushBack(int32_t frame);
+  void MoveToBack(int32_t frame) {
+    if (tail_ != frame) {
+      ListUnlink(frame);
+      ListPushBack(frame);
+    }
+  }
+
+  // Reset every frame to unused and rebuild the free list (construction and
+  // Clear()).
+  void ResetFrames();
 
   // Pick and remove a victim according to the policy. Requires non-empty.
   EvictedPage EvictOne();
+  std::optional<EvictedPage> InsertNew(PageKey key, bool dirty, bool in_flight);
 
   // Index maintenance. IndexInsert requires `page` non-resident beforehand;
   // IndexRemove requires it resident.
   void IndexInsert(FileId file, int64_t page);
   void IndexRemove(FileId file, int64_t page);
-  // Remove `key` from entries_/order_/pin accounting only; the caller fixes
-  // the index (bulk paths that drop whole runs at once).
-  void DropEntry(const PageKey& key);
+  void DirtyInsert(FileId file, int64_t page);
+  // Release `frame` back to the free list and unhook it from the recency
+  // list, hash table, and pin/in-flight accounting; the caller fixes the
+  // residency index (bulk paths drop whole runs at once).
+  void DropFrame(int32_t frame);
 
   PageCacheConfig config_;
-  std::unordered_map<PageKey, Entry, PageKeyHash> entries_;
+  std::vector<Frame> frames_;   // the slab: one frame per capacity page
+  std::vector<int32_t> table_;  // open addressing: frame index or kNil
+  size_t table_mask_ = 0;
   std::unordered_map<FileId, FileIndex> index_;
-  // kLru: recency list, least-recently-used at front.
-  // kClock: FIFO ring; entries get a second chance via `referenced`.
-  std::list<PageKey> order_;
+  int32_t head_ = kNil;  // recency list: LRU at head. kClock: FIFO ring;
+  int32_t tail_ = kNil;  // entries get a second chance via `referenced`.
+  int32_t free_head_ = kNil;  // free frames, threaded through Frame::next_
+  int64_t size_ = 0;
   PageCacheStats stats_;
   int64_t pinned_ = 0;
   int64_t in_flight_ = 0;

@@ -14,6 +14,7 @@ DeviceQueue::DeviceQueue(std::string name, DeviceQueueConfig config)
 void DeviceQueue::Push(IoRequest req) {
   SLED_CHECK(req.count > 0, "empty I/O request");
   SLED_CHECK(pending_.empty() || pending_.back().id < req.id, "request ids must increase");
+  pending_pages_[static_cast<size_t>(req.op)] += req.count;
   pending_.push_back(std::move(req));
   ++stats_.submitted;
   stats_.max_depth = std::max(stats_.max_depth, depth());
@@ -70,6 +71,7 @@ IoBatch DeviceQueue::PopBatch(TimePoint at) {
   const size_t primary_idx = PickPrimary(at);
   IoBatch batch;
   batch.parts.push_back(pending_[primary_idx]);
+  pending_pages_[static_cast<size_t>(batch.parts.front().op)] -= batch.parts.front().count;
   pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(primary_idx));
 
   if (config_.coalesce) {
@@ -103,6 +105,7 @@ IoBatch DeviceQueue::PopBatch(TimePoint at) {
         if (!extends_hi && !extends_lo) {
           continue;
         }
+        pending_pages_[static_cast<size_t>(r.op)] -= r.count;
         if (extends_hi) {
           batch.parts.push_back(r);
         } else {
@@ -137,21 +140,12 @@ std::vector<IoRequest> DeviceQueue::CancelMatching(
     if (!pred(r)) {
       return false;
     }
+    pending_pages_[static_cast<size_t>(r.op)] -= r.count;
     out.push_back(r);
     return true;
   });
   stats_.canceled += static_cast<int64_t>(out.size());
   return out;
-}
-
-int64_t DeviceQueue::PendingPages(IoOp op) const {
-  int64_t pages = 0;
-  for (const IoRequest& r : pending_) {
-    if (r.op == op) {
-      pages += r.count;
-    }
-  }
-  return pages;
 }
 
 void DeviceQueue::ForEachPending(const std::function<void(const IoRequest&)>& fn) const {

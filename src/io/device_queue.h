@@ -76,8 +76,12 @@ class DeviceQueue {
   // recalled.
   std::vector<IoRequest> CancelMatching(const std::function<bool(const IoRequest&)>& pred);
 
-  // Estimated pages still pending per op (writeback-drain planning).
-  int64_t PendingPages(IoOp op) const;
+  // Pages still pending per op (writeback-drain planning; also consulted per
+  // demand miss by the readahead budget, so kept as a running counter instead
+  // of an O(depth) scan).
+  int64_t PendingPages(IoOp op) const {
+    return pending_pages_[static_cast<size_t>(op)];
+  }
   void ForEachPending(const std::function<void(const IoRequest&)>& fn) const;
 
  private:
@@ -89,6 +93,7 @@ class DeviceQueue {
   std::vector<IoRequest> pending_;  // arrival order (ids strictly increase)
   // C-LOOK sweep position: device address one past the last dispatched byte.
   int64_t head_addr_ = 0;
+  int64_t pending_pages_[2] = {0, 0};  // indexed by IoOp; mirrors pending_
   DeviceQueueStats stats_;
 };
 

@@ -141,13 +141,12 @@ void SimKernel::CompleteIo(const IoRequest& part, TimePoint done, bool ok) {
     }
     it->second.dispatched = true;
     it->second.ready_at = done;
-    if (!cache_.Contains(key)) {
-      // Claim the frame now, flagged in-flight until the clock reaches
-      // `done`; a dirty page pushed out spills to (asynchronous) writeback.
-      auto evicted = cache_.Insert(key, /*dirty=*/false, /*in_flight=*/true);
-      if (evicted.has_value() && evicted->dirty) {
-        QueueWriteback(nullptr, evicted->key);
-      }
+    // Claim the frame now (unless already resident), flagged in-flight until
+    // the clock reaches `done`; a dirty page pushed out spills to
+    // (asynchronous) writeback.
+    auto evicted = cache_.InsertIfAbsent(key, /*dirty=*/false, /*in_flight=*/true);
+    if (evicted.has_value() && evicted->dirty) {
+      QueueWriteback(nullptr, evicted->key);
     }
     arrivals_.push(Arrival{done, key});
   }
@@ -629,17 +628,23 @@ Result<int64_t> SimKernel::Write(Process& p, int fd, std::span<const char> src) 
     if (engine_on() && inflight_.contains(key)) {
       AwaitPage(p, key);  // overwriting a page whose read is in flight
     }
-    if (!full_cover && !beyond_old_eof && !cache_.Contains(key)) {
+    PageCache::Frame* frame = cache_.Probe(key);
+    if (frame == nullptr && !full_cover && !beyond_old_eof) {
       // Read-modify-write of a non-resident partial page.
       if (engine_on()) {
         SLED_RETURN_IF_ERROR(EnginePageIn(p, *of, page, 1, 1));
       } else {
         SLED_RETURN_IF_ERROR(PageIn(p, *of, page, 1, 1));
       }
+      frame = cache_.Probe(key);  // the page-in made it resident
     }
-    auto evicted = cache_.Insert(key, /*dirty=*/true);
-    if (evicted.has_value() && evicted->dirty) {
-      QueueWriteback(&p, evicted->key);
+    if (frame != nullptr) {
+      cache_.Freshen(frame, /*dirty=*/true);
+    } else {
+      auto evicted = cache_.Insert(key, /*dirty=*/true);
+      if (evicted.has_value() && evicted->dirty) {
+        QueueWriteback(&p, evicted->key);
+      }
     }
     const int64_t copy_lo = std::max(of->offset, page_lo);
     const int64_t copy_hi = std::min(write_end, page_hi);
@@ -780,8 +785,8 @@ Result<void> SimKernel::Fsync(Process& p, int fd) {
       if (own.contains(id)) {
         for (int64_t q = wd.req.first_page; q < wd.req.end_page(); ++q) {
           const PageKey key{of->fid, q};
-          if (cache_.Contains(key)) {
-            cache_.MarkDirty(key);
+          if (PageCache::Frame* frame = cache_.Probe(key)) {
+            cache_.MarkDirty(frame);
           }
         }
         if (first_err == Err::kOk) {
@@ -1102,11 +1107,11 @@ Result<int64_t> SimKernel::IoctlSledsLock(Process& p, int fd, int64_t offset, in
     }
     const int64_t hi = std::min(run->end() - 1, last);
     for (int64_t q = std::max(run->first, page); q <= hi; ++q) {
-      const PageKey key{of->fid, q};
-      if (cache_.IsPinned(key)) {
+      PageCache::Frame* frame = cache_.Probe({of->fid, q});
+      if (frame == nullptr || frame->pinned()) {
         continue;  // already locked (possibly by another descriptor)
       }
-      if (cache_.Pin(key)) {
+      if (cache_.Pin(frame)) {
         of->locked_pages.push_back(q);
         ++pinned;
       }

@@ -184,6 +184,15 @@ class SimKernel {
   // syscall, page-in, writeback, SLED scan, and raw device transfer.
   Observer& obs() { return obs_; }
   const Observer& obs() const { return obs_; }
+  // Publish the frame-table occupancy gauges to the metric registry. On
+  // demand only (shell `stats`, scale bench): the first gauge creates the
+  // JSON "gauges" section the figure-bench exports must not contain.
+  void PublishCacheGauges() {
+    obs_.CacheGauges(cache_.size_pages(), cache_.capacity_pages(), cache_.pinned_pages(),
+                     cache_.in_flight_pages(),
+                     static_cast<int64_t>(cache_.AllDirtyPages().size()),
+                     cache_.resident_file_count());
+  }
   // The resolved I/O mode (kFromEnv is resolved at construction).
   IoMode io_mode() const { return io_mode_; }
   // The event-driven engine's scheduler; queues exist only in async modes.

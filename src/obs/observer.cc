@@ -178,6 +178,17 @@ void Observer::SledScan(int pid, uint64_t file, int64_t pages, int64_t runs) {
 
 void Observer::VfsResolve() { metrics_.Add("vfs.resolves"); }
 
+void Observer::CacheGauges(int64_t size_pages, int64_t capacity_pages, int64_t pinned_pages,
+                           int64_t in_flight_pages, int64_t dirty_pages,
+                           int64_t resident_files) {
+  metrics_.SetGauge("cache.size_pages", size_pages);
+  metrics_.SetGauge("cache.capacity_pages", capacity_pages);
+  metrics_.SetGauge("cache.pinned_pages", pinned_pages);
+  metrics_.SetGauge("cache.in_flight_pages", in_flight_pages);
+  metrics_.SetGauge("cache.dirty_pages", dirty_pages);
+  metrics_.SetGauge("cache.resident_files", resident_files);
+}
+
 void Observer::IoSubmit(int pid, std::string_view queue, uint64_t file, int64_t first_page,
                         int64_t pages, bool write, int64_t depth) {
   std::string key = "io.";

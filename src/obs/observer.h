@@ -56,6 +56,12 @@ class Observer {
   void SledScan(int pid, uint64_t file, int64_t pages, int64_t runs);
   void VfsResolve();
 
+  // Frame-table occupancy snapshot (shell `stats`, the scale bench). Fired on
+  // demand only: the first gauge creates the JSON "gauges" section, which the
+  // figure benches must keep absent for byte-identical exports.
+  void CacheGauges(int64_t size_pages, int64_t capacity_pages, int64_t pinned_pages,
+                   int64_t in_flight_pages, int64_t dirty_pages, int64_t resident_files);
+
   // ---- I/O engine hooks (fire only in the async engine modes) ----
   // A request entered a device queue; `depth` is the queue depth after.
   void IoSubmit(int pid, std::string_view queue, uint64_t file, int64_t first_page, int64_t pages,

@@ -522,6 +522,7 @@ std::string SledShell::CmdStat(const std::vector<std::string>& args) {
 }
 
 std::string SledShell::CmdStats() {
+  kernel_->PublishCacheGauges();  // refresh cache.* gauges for iostat/exports
   const PageCacheStats& cs = kernel_->cache().stats();
   const KernelStats& ks = kernel_->stats();
   std::string out;

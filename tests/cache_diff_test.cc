@@ -1,9 +1,12 @@
-// Randomized differential test: the run-indexed PageCache against a naive
-// reference model that replicates the pre-index implementation (recency list
-// plus flat hash map, with every query a full scan). Thousands of mixed
-// operations must produce identical residency, dirty sets, eviction victims,
-// pin results, and stats under both replacement policies, and the run-oriented
-// queries must agree with runs derived from the naive resident-page list.
+// Randomized differential test: the frame-table PageCache against a naive
+// reference model that replicates the old node-based implementation (recency
+// list plus flat hash map, with every query a full scan). Millions of mixed
+// operations — touches, inserts (clean, dirty, in-flight, via every probe
+// API), pins, truncates, arrivals — must produce identical residency, dirty
+// sets, eviction sequences, pin results, and stats under both replacement
+// policies, the frame table's internal audit (ValidateIndex) must hold
+// throughout, and the run-oriented queries must agree with runs derived from
+// the naive resident-page list.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -40,7 +43,7 @@ class NaiveCache {
     return true;
   }
 
-  std::optional<EvictedPage> Insert(PageKey key, bool dirty) {
+  std::optional<EvictedPage> Insert(PageKey key, bool dirty, bool in_flight = false) {
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       it->second.dirty = it->second.dirty || dirty;
@@ -56,9 +59,33 @@ class NaiveCache {
       evicted = EvictOne();
     }
     order_.push_back(key);
-    entries_.emplace(key, Entry{std::prev(order_.end()), dirty, false, false});
+    entries_.emplace(key, Entry{std::prev(order_.end()), dirty, false, false, in_flight});
+    if (in_flight) {
+      ++in_flight_;
+    }
     ++stats_.insertions;
     return evicted;
+  }
+
+  // A resident page stays completely untouched (no recency refresh).
+  std::optional<EvictedPage> InsertIfAbsent(PageKey key, bool dirty, bool in_flight = false) {
+    if (Contains(key)) {
+      return std::nullopt;
+    }
+    return Insert(key, dirty, in_flight);
+  }
+
+  void MarkArrived(PageKey key) {
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.in_flight) {
+      it->second.in_flight = false;
+      --in_flight_;
+    }
+  }
+
+  bool IsInFlight(PageKey key) const {
+    auto it = entries_.find(key);
+    return it != entries_.end() && it->second.in_flight;
   }
 
   bool Pin(PageKey key) {
@@ -102,6 +129,9 @@ class NaiveCache {
     if (it->second.pinned) {
       --pinned_;
     }
+    if (it->second.in_flight) {
+      --in_flight_;
+    }
     order_.erase(it->second.it);
     entries_.erase(it);
   }
@@ -124,6 +154,7 @@ class NaiveCache {
     entries_.clear();
     order_.clear();
     pinned_ = 0;
+    in_flight_ = 0;
   }
 
   std::vector<int64_t> ResidentPagesOf(FileId file) const {
@@ -163,6 +194,8 @@ class NaiveCache {
   }
 
   int64_t size_pages() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t pinned_pages() const { return pinned_; }
+  int64_t in_flight_pages() const { return in_flight_; }
   const PageCacheStats& stats() const { return stats_; }
 
  private:
@@ -171,6 +204,7 @@ class NaiveCache {
     bool dirty = false;
     bool referenced = false;
     bool pinned = false;
+    bool in_flight = false;
   };
 
   EvictedPage EvictOne() {
@@ -178,7 +212,7 @@ class NaiveCache {
       auto it = order_.begin();
       while (it != order_.end()) {
         Entry& entry = entries_.at(*it);
-        if (entry.pinned) {
+        if (entry.pinned || entry.in_flight) {
           ++it;
           continue;
         }
@@ -209,6 +243,7 @@ class NaiveCache {
   std::list<PageKey> order_;
   PageCacheStats stats_;
   int64_t pinned_ = 0;
+  int64_t in_flight_ = 0;
 };
 
 std::vector<PageRun> RunsFromPages(const std::vector<int64_t>& pages) {
@@ -227,6 +262,8 @@ void ExpectSameState(const PageCache& cache, const NaiveCache& naive,
                      const std::vector<FileId>& files, int64_t max_page) {
   ASSERT_TRUE(cache.ValidateIndex());
   EXPECT_EQ(cache.size_pages(), naive.size_pages());
+  EXPECT_EQ(cache.pinned_pages(), naive.pinned_pages());
+  EXPECT_EQ(cache.in_flight_pages(), naive.in_flight_pages());
   EXPECT_EQ(cache.stats().hits, naive.stats().hits);
   EXPECT_EQ(cache.stats().misses, naive.stats().misses);
   EXPECT_EQ(cache.stats().insertions, naive.stats().insertions);
@@ -263,39 +300,126 @@ void ExpectSameState(const PageCache& cache, const NaiveCache& naive,
   }
 }
 
-void RunDifferential(ReplacementPolicy policy, uint64_t seed) {
+// Test-enforced bound on concurrently in-flight pages: with capacity 64,
+// Pin() itself caps pinned pages at 32, so <= 16 in-flight leaves at least 16
+// evictable pages and eviction can never strand.
+constexpr int64_t kMaxInFlight = 16;
+
+void RunDifferential(ReplacementPolicy policy, uint64_t seed, int ops, int checkpoint_every) {
   const PageCacheConfig config{.capacity_pages = 64, .policy = policy};
   PageCache cache(config);
   NaiveCache naive(config);
   Rng rng(seed);
   const std::vector<FileId> files = {1, 2, 3, 7};
   constexpr int64_t kMaxPage = 99;
-  constexpr int kOps = 4000;
-  for (int op = 0; op < kOps; ++op) {
+  // Every victim either layout ever reports, in order; compared at each
+  // checkpoint on top of the per-op result comparison, so a divergence in
+  // replacement order is caught even if the op results happen to agree.
+  std::vector<EvictedPage> evictions_cache;
+  std::vector<EvictedPage> evictions_naive;
+  std::vector<PageKey> in_flight_keys;
+  auto record = [](std::vector<EvictedPage>& log, const std::optional<EvictedPage>& e) {
+    if (e.has_value()) {
+      log.push_back(*e);
+    }
+  };
+  for (int op = 0; op < ops; ++op) {
     const FileId file = files[static_cast<size_t>(rng.Uniform(0, 3))];
     const int64_t page = rng.Uniform(0, kMaxPage);
     const PageKey key{file, page};
+    // Destructive ops (truncate, RemoveFile, Clear) are kept rare: insert
+    // pressure must outrun removal so the cache sits at capacity and the
+    // eviction path — the point of this test — is exercised constantly.
     const int64_t roll = rng.Uniform(0, 99);
-    if (roll < 25) {  // Touch
-      EXPECT_EQ(cache.Touch(key), naive.Touch(key));
-    } else if (roll < 60) {  // Insert, clean or dirty
+    if (roll < 20) {  // Touch, half through the frame-returning probe
+      if (rng.Uniform(0, 1) == 0) {
+        EXPECT_EQ(cache.Touch(key), naive.Touch(key));
+      } else {
+        PageCache::Frame* frame = cache.TouchProbe(key);
+        EXPECT_EQ(frame != nullptr, naive.Touch(key));
+        if (frame != nullptr) {
+          EXPECT_EQ(frame->key(), key);
+          EXPECT_EQ(frame->dirty(), naive.IsDirty(key));
+          EXPECT_EQ(frame->pinned(), naive.IsPinned(key));
+          EXPECT_EQ(frame->in_flight(), naive.IsInFlight(key));
+        }
+      }
+    } else if (roll < 60) {  // Insert, clean or dirty, via a random API
       const bool dirty = rng.Uniform(0, 2) == 0;
-      EXPECT_EQ(cache.Insert(key, dirty), naive.Insert(key, dirty));
-    } else if (roll < 70) {  // Remove
+      switch (rng.Uniform(0, 2)) {
+        case 0: {
+          auto a = cache.Insert(key, dirty);
+          auto b = naive.Insert(key, dirty);
+          EXPECT_EQ(a, b);
+          record(evictions_cache, a);
+          record(evictions_naive, b);
+          break;
+        }
+        case 1: {
+          auto a = cache.InsertIfAbsent(key, dirty);
+          auto b = naive.InsertIfAbsent(key, dirty);
+          EXPECT_EQ(a, b);
+          record(evictions_cache, a);
+          record(evictions_naive, b);
+          break;
+        }
+        case 2: {  // the kernel's write path: Probe then Freshen-or-Insert
+          if (PageCache::Frame* frame = cache.Probe(key)) {
+            cache.Freshen(frame, dirty);
+            naive.Insert(key, dirty);  // resident: refresh + OR dirty
+          } else {
+            auto a = cache.Insert(key, dirty);
+            auto b = naive.Insert(key, dirty);
+            EXPECT_EQ(a, b);
+            record(evictions_cache, a);
+            record(evictions_naive, b);
+          }
+          break;
+        }
+      }
+    } else if (roll < 66) {  // in-flight insert (bounded) / arrival
+      if (cache.in_flight_pages() < kMaxInFlight && rng.Uniform(0, 1) == 0) {
+        auto a = cache.InsertIfAbsent(key, /*dirty=*/false, /*in_flight=*/true);
+        auto b = naive.InsertIfAbsent(key, /*dirty=*/false, /*in_flight=*/true);
+        EXPECT_EQ(a, b);
+        record(evictions_cache, a);
+        record(evictions_naive, b);
+        if (cache.IsInFlight(key)) {
+          in_flight_keys.push_back(key);
+        }
+      } else if (!in_flight_keys.empty()) {
+        const size_t pick =
+            static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(in_flight_keys.size()) - 1));
+        const PageKey arrived = in_flight_keys[pick];
+        in_flight_keys.erase(in_flight_keys.begin() + static_cast<std::ptrdiff_t>(pick));
+        cache.MarkArrived(arrived);
+        naive.MarkArrived(arrived);
+        EXPECT_FALSE(cache.IsInFlight(arrived));
+      }
+      EXPECT_EQ(cache.IsInFlight(key), naive.IsInFlight(key));
+    } else if (roll < 71) {  // Remove
       cache.Remove(key);
       naive.Remove(key);
-    } else if (roll < 77) {  // Pin / Unpin
+    } else if (roll < 78) {  // Pin / Unpin, half through the frame API
       if (rng.Uniform(0, 2) != 0) {
-        EXPECT_EQ(cache.Pin(key), naive.Pin(key));
+        if (rng.Uniform(0, 1) == 0) {
+          EXPECT_EQ(cache.Pin(key), naive.Pin(key));
+        } else {
+          EXPECT_EQ(cache.Pin(cache.Probe(key)), naive.Pin(key));
+        }
       } else {
         cache.Unpin(key);
         naive.Unpin(key);
       }
       EXPECT_EQ(cache.IsPinned(key), naive.IsPinned(key));
-    } else if (roll < 87) {  // MarkDirty / MarkClean on resident pages
-      if (cache.Contains(key)) {
+    } else if (roll < 86) {  // MarkDirty / MarkClean on resident pages
+      if (PageCache::Frame* frame = cache.Probe(key)) {
         if (rng.Uniform(0, 1) == 0) {
-          cache.MarkDirty(key);
+          if (rng.Uniform(0, 1) == 0) {
+            cache.MarkDirty(key);
+          } else {
+            cache.MarkDirty(frame);
+          }
           naive.MarkDirty(key);
         } else {
           cache.MarkClean(key);
@@ -303,20 +427,30 @@ void RunDifferential(ReplacementPolicy policy, uint64_t seed) {
         }
       }
       EXPECT_EQ(cache.IsDirty(key), naive.IsDirty(key));
-    } else if (roll < 93) {  // RemovePagesFrom (truncate)
+    } else if (roll < 87) {  // RemovePagesFrom (truncate)
       cache.RemovePagesFrom(file, page);
       naive.RemovePagesFrom(file, page);
-    } else if (roll < 97) {  // RemoveFile
-      cache.RemoveFile(file);
-      naive.RemoveFile(file);
+    } else if (roll < 88) {  // RemoveFile (halved again: it drops size/4 pages)
+      if (rng.Uniform(0, 1) == 0) {
+        cache.RemoveFile(file);
+        naive.RemoveFile(file);
+      } else {
+        cache.Remove(key);
+        naive.Remove(key);
+      }
     } else if (roll < 99) {  // spot-check queries
       EXPECT_EQ(cache.Contains(key), naive.Contains(key));
       EXPECT_EQ(cache.IsDirty(key), naive.IsDirty(key));
-    } else {  // rare full reset
+      EXPECT_EQ(cache.IsInFlight(key), naive.IsInFlight(key));
+      const PageCache::Frame* frame = cache.Probe(key);
+      EXPECT_EQ(frame != nullptr, naive.Contains(key));
+    } else if (rng.Uniform(0, 9) == 0) {  // very rare full reset (~0.1%)
       cache.Clear();
       naive.Clear();
+      in_flight_keys.clear();
     }
-    if (op % 200 == 199) {
+    if (op % checkpoint_every == checkpoint_every - 1) {
+      EXPECT_EQ(evictions_cache, evictions_naive);
       ExpectSameState(cache, naive, files, kMaxPage);
       if (::testing::Test::HasFailure()) {
         FAIL() << "divergence at op " << op << " (policy "
@@ -325,19 +459,32 @@ void RunDifferential(ReplacementPolicy policy, uint64_t seed) {
       }
     }
   }
+  EXPECT_EQ(evictions_cache, evictions_naive);
+  EXPECT_GT(evictions_cache.size(), 0u);
   ExpectSameState(cache, naive, files, kMaxPage);
 }
 
 TEST(CacheDiffTest, LruMatchesNaiveModel) {
   for (uint64_t seed : {11u, 22u, 33u}) {
-    RunDifferential(ReplacementPolicy::kLru, seed);
+    RunDifferential(ReplacementPolicy::kLru, seed, 4000, 200);
   }
 }
 
 TEST(CacheDiffTest, ClockMatchesNaiveModel) {
   for (uint64_t seed : {44u, 55u, 66u}) {
-    RunDifferential(ReplacementPolicy::kClock, seed);
+    RunDifferential(ReplacementPolicy::kClock, seed, 4000, 200);
   }
+}
+
+// The scale acceptance run: over a million randomized operations under each
+// policy with identical eviction order throughout (full-state audits are
+// spread out to keep the runtime in check; every op still compares results).
+TEST(CacheDiffTest, MillionOpsLru) {
+  RunDifferential(ReplacementPolicy::kLru, 77, 1000001, 100000);
+}
+
+TEST(CacheDiffTest, MillionOpsClock) {
+  RunDifferential(ReplacementPolicy::kClock, 88, 1000001, 100000);
 }
 
 }  // namespace
