@@ -39,6 +39,25 @@ timeout 300 ./build/bench/bench_fault
 echo "==== I/O scheduler bench: FIFO vs C-LOOK + coalescing ===="
 ./build/bench/bench_iosched
 
+echo "==== SSD bench: GC tail + tail-aware picking ===="
+timeout 300 ./build/bench/bench_ssd
+
+echo "==== estimate-accuracy gate: Estimate vs Access across device models ===="
+# Simulated-time metrics, deterministic and machine-independent, so the Debug
+# build is fine. Gated against the `accuracy` section of bench/baselines.json;
+# refresh after an intentional model change with
+# scripts/perf_gate.py --refresh-accuracy.
+acc_json_dir="$(mktemp -d)"
+SLEDS_BENCH_JSON_DIR="${acc_json_dir}" timeout 600 ./build/bench/bench_ext_estimate_accuracy
+if [[ "${SKIP_PERF_GATE:-}" == "1" ]]; then
+  echo "==== accuracy comparison skipped (SKIP_PERF_GATE=1) ===="
+elif command -v python3 >/dev/null 2>&1; then
+  python3 scripts/perf_gate.py --accuracy "${acc_json_dir}"
+else
+  echo "==== accuracy comparison skipped (python3 not found) ===="
+fi
+rm -rf "${acc_json_dir}"
+
 if [[ "${SKIP_PERF:-}" == "1" ]]; then
   echo "==== perf stage skipped (SKIP_PERF=1) ===="
 else

@@ -15,6 +15,13 @@ Refresh the baselines after an intentional perf change:
         --benchmark_filter='BM_PageCacheTouchHit'
     SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_scale
     scripts/perf_gate.py --refresh /tmp/bj
+
+Accuracy mode (`--accuracy <json_dir>`) gates the `error` fields of
+BENCH_estimate_accuracy.json (estimate-vs-access MAPE and end-to-end bias,
+lower is better) against the `accuracy` section of baselines.json. Those
+numbers are simulated-time ratios — fully deterministic, machine-independent —
+so the tolerance is only a safety margin for intentional model tweaks.
+Refresh after such a tweak with `--refresh-accuracy <json_dir>`.
 """
 
 import json
@@ -22,6 +29,8 @@ import os
 import sys
 
 TOLERANCE = 0.75  # current speedup must stay above baseline * TOLERANCE
+ACCURACY_TOLERANCE = 1.25  # current error must stay below baseline * this
+ACCURACY_BENCH = "estimate_accuracy"
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINES = os.path.join(REPO_ROOT, "bench", "baselines.json")
@@ -50,18 +59,84 @@ def collect(json_dir, benches):
     return result
 
 
-def refresh(json_dir, baselines_path):
-    benches = ["micro", "scale"]
-    payload = {
-        "comment": "speedup (naive_us / indexed_us) baselines; "
-        "gate fails below baseline * %.2f. Refresh: scripts/perf_gate.py "
-        "--refresh <json_dir>" % TOLERANCE,
-        "benches": collect(json_dir, benches),
-    }
+def load_errors(path):
+    """Return {workload: error} from BENCH_estimate_accuracy.json."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for key, value in data.items():
+        if isinstance(value, dict) and "error" in value:
+            out[key] = float(value["error"])
+    return out
+
+
+def read_baselines(baselines_path):
+    if os.path.exists(baselines_path):
+        with open(baselines_path) as f:
+            return json.load(f)
+    return {}
+
+
+def write_baselines(payload, baselines_path):
     with open(baselines_path, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"perf gate: baselines written to {baselines_path}")
+
+
+def refresh(json_dir, baselines_path):
+    payload = read_baselines(baselines_path)
+    payload["comment"] = (
+        "speedup (naive_us / indexed_us) baselines; "
+        "gate fails below baseline * %.2f. Refresh: scripts/perf_gate.py "
+        "--refresh <json_dir>. `accuracy` holds estimate-vs-access error "
+        "baselines (lower is better, ceiling baseline * %.2f); refresh with "
+        "--refresh-accuracy <json_dir>" % (TOLERANCE, ACCURACY_TOLERANCE)
+    )
+    payload["benches"] = collect(json_dir, ["micro", "scale"])
+    write_baselines(payload, baselines_path)
+
+
+def refresh_accuracy(json_dir, baselines_path):
+    path = os.path.join(json_dir, f"BENCH_{ACCURACY_BENCH}.json")
+    if not os.path.exists(path):
+        print(f"perf gate: FAIL — missing {path}")
+        sys.exit(1)
+    payload = read_baselines(baselines_path)
+    payload["accuracy"] = load_errors(path)
+    write_baselines(payload, baselines_path)
+
+
+def check_accuracy(json_dir, baselines_path):
+    baselines = read_baselines(baselines_path).get("accuracy", {})
+    if not baselines:
+        print(f"accuracy gate: FAIL — no `accuracy` section in {baselines_path}")
+        sys.exit(1)
+    path = os.path.join(json_dir, f"BENCH_{ACCURACY_BENCH}.json")
+    if not os.path.exists(path):
+        print(f"accuracy gate: FAIL — missing {path}")
+        sys.exit(1)
+    current = load_errors(path)
+    failures = []
+    for workload, base in sorted(baselines.items()):
+        cur = current.get(workload)
+        if cur is None:
+            failures.append(f"{workload}: missing from current run")
+            continue
+        ceiling = base * ACCURACY_TOLERANCE + 1e-6
+        verdict = "ok" if cur <= ceiling else "REGRESSED"
+        print(
+            f"  {workload}: baseline {base:.4f}, current {cur:.4f}, "
+            f"ceiling {ceiling:.4f} — {verdict}"
+        )
+        if cur > ceiling:
+            failures.append(f"{workload}: {cur:.4f} > {ceiling:.4f} (baseline {base:.4f})")
+    if failures:
+        print("accuracy gate: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print("accuracy gate: ok")
 
 
 def check(json_dir, baselines_path):
@@ -96,11 +171,16 @@ def check(json_dir, baselines_path):
 
 def main():
     args = sys.argv[1:]
-    if args and args[0] == "--refresh":
+    modes = {
+        "--refresh": refresh,
+        "--refresh-accuracy": refresh_accuracy,
+        "--accuracy": check_accuracy,
+    }
+    if args and args[0] in modes:
         if len(args) < 2:
             print(__doc__)
             sys.exit(2)
-        refresh(args[1], args[2] if len(args) > 2 else DEFAULT_BASELINES)
+        modes[args[0]](args[1], args[2] if len(args) > 2 else DEFAULT_BASELINES)
         return
     if not args:
         print(__doc__)

@@ -29,20 +29,27 @@ class CdRomDevice final : public StorageDevice {
       : StorageDevice(std::move(name)), config_(config), rng_(config.seed) {}
 
   DeviceCharacteristics Nominal() const override {
-    return {config_.min_seek + config_.full_stroke_extra / 2, config_.bandwidth_bps};
+    // Seek time is uniform over distance (quantile min + extra*p) and the
+    // settle jitter factor has quantile 0.9 + 0.2p; the comonotonic product
+    // approximates the combined positioning distribution.
+    const double min_s = config_.min_seek.ToSeconds();
+    const double extra_s = config_.full_stroke_extra.ToSeconds();
+    auto q = [&](double p) { return (min_s + extra_s * p) * (0.9 + 0.2 * p); };
+    DeviceCharacteristics c{config_.min_seek + config_.full_stroke_extra / 2,
+                            config_.bandwidth_bps,
+                            {q(0.50), q(0.90), q(0.99)}};
+    return c;
   }
 
   Duration Estimate(int64_t offset, int64_t nbytes) const override {
-    Duration t = TransferTime(nbytes, config_.bandwidth_bps);
+    // Expectation of Access(): per-command overhead plus transfer, plus the
+    // seek on reposition (the settle jitter 0.9 + 0.2*U has mean 1.0). Reads
+    // and burns charge the same costs, so EstimateWrite is this estimate too.
+    Duration t = config_.per_request_overhead + TransferTime(nbytes, config_.bandwidth_bps);
     if (offset != head_position_) {
       t += SeekTime(head_position_, offset);
     }
     return t;
-  }
-
-  Duration EstimateWrite(int64_t offset, int64_t nbytes) const override {
-    // A burn pays the per-command overhead the read estimate elides.
-    return config_.per_request_overhead + Estimate(offset, nbytes);
   }
 
   int64_t capacity_bytes() const override { return config_.capacity_bytes; }

@@ -25,11 +25,38 @@ namespace sled {
 
 class Observer;
 
+// Fixed-quantile summary of a latency distribution, in seconds. The scalar
+// `DeviceCharacteristics::latency` stays the mean — every pre-existing
+// consumer keeps reading it unchanged — while tail-aware consumers
+// (distribution-valued SLEDs, rank_by=p99 pickers) read the quantiles. A
+// default-constructed summary (all zeros) means "not characterized":
+// consumers fall back to a degenerate distribution at the scalar mean.
+struct LatencyQuantiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  bool empty() const { return p50 == 0.0 && p90 == 0.0 && p99 == 0.0; }
+  static LatencyQuantiles Degenerate(double seconds) { return {seconds, seconds, seconds}; }
+  LatencyQuantiles Scaled(double factor) const { return {p50 * factor, p90 * factor, p99 * factor}; }
+  friend bool operator==(const LatencyQuantiles&, const LatencyQuantiles&) = default;
+};
+
 // Nominal characteristics, the vocabulary of the kernel `sleds_table` (paper
-// Tables 2 and 3): latency to the first byte and streaming bandwidth.
+// Tables 2 and 3): latency to the first byte and streaming bandwidth. The
+// quantile extension carries the model's positioning-latency *distribution*
+// so SLED consumers can rank by tail risk, not just expected value; `latency`
+// remains the mean.
 struct DeviceCharacteristics {
   Duration latency;
   double bandwidth_bps = 0.0;
+  LatencyQuantiles latency_q;
+
+  // The quantile summary, degenerate at the mean when the device model did
+  // not characterize its spread (memory, calibrated scalar fills).
+  LatencyQuantiles Quantiles() const {
+    return latency_q.empty() ? LatencyQuantiles::Degenerate(latency.ToSeconds()) : latency_q;
+  }
 };
 
 // Running counters every device maintains.
@@ -70,6 +97,14 @@ class StorageDevice {
   // without changing device state. The kernel uses Nominal() for SLEDs (the
   // paper's implementation, §4.4); Estimate() enables the "more detailed
   // mechanical estimates" extension.
+  //
+  // Contract: *Estimate is the expectation of Access*. Every deterministic
+  // cost Access() charges (per-request overhead, transfer, positioning from
+  // the current state) must appear in the estimate, and every stochastic term
+  // must be represented by its mean (e.g. a uniformly distributed rotational
+  // delay contributes half a rotation; a symmetric jitter factor contributes
+  // its center). Under- or over-counting here is a systematic bias in every
+  // plan a SLED consumer builds.
   virtual Duration Estimate(int64_t offset, int64_t nbytes) const = 0;
 
   // Estimated service time of a *write* at `offset`, for writeback planning.

@@ -14,8 +14,11 @@ DiskDevice::DiskDevice(DiskDeviceConfig config, std::string name)
 }
 
 double DiskDevice::BandwidthAt(int64_t offset) const {
-  // Zone index grows toward the inner (slower) tracks.
-  const int zone = static_cast<int>((offset * config_.num_zones) / config_.capacity_bytes);
+  // Zone index grows toward the inner (slower) tracks. Divide the offset by
+  // the zone width instead of multiplying by num_zones: `offset * num_zones`
+  // overflows int64 for multi-TB capacities with many zones.
+  const int64_t zone_bytes = config_.capacity_bytes / config_.num_zones;
+  const int zone = static_cast<int>(offset / zone_bytes);
   const int clamped = zone >= config_.num_zones ? config_.num_zones - 1 : zone;
   if (config_.num_zones == 1) {
     return (config_.outer_bandwidth_bps + config_.inner_bandwidth_bps) / 2.0;
@@ -44,11 +47,21 @@ DeviceCharacteristics DiskDevice::Nominal() const {
   const Duration half_rotation = RotationPeriod() / 2;
   const double avg_bw =
       (config_.outer_bandwidth_bps + config_.inner_bandwidth_bps) / 2.0;
-  return {avg_seek + half_rotation, avg_bw};
+  // Positioning quantiles, first-order: seek over a uniform stroke fraction d
+  // has quantile min + (max-min)*sqrt(p), the rotational delay has quantile
+  // p * period; summing per-component quantiles is the standard comonotonic
+  // upper-bound approximation for the combined distribution.
+  const double period_s = RotationPeriod().ToSeconds();
+  auto q = [&](double p) {
+    return min_s + (max_s - min_s) * std::sqrt(p) + p * period_s;
+  };
+  return {avg_seek + half_rotation, avg_bw, {q(0.50), q(0.90), q(0.99)}};
 }
 
 Duration DiskDevice::Estimate(int64_t offset, int64_t nbytes) const {
-  Duration t = TransferTime(nbytes, BandwidthAt(offset));
+  // Expectation of Access(): the same per-request overhead and transfer, plus
+  // the mean of the random rotational delay (half a rotation) on reposition.
+  Duration t = config_.per_request_overhead + TransferTime(nbytes, BandwidthAt(offset));
   if (!IsSequential(offset)) {
     t += SeekTime(head_position_, offset) + RotationPeriod() / 2;
   }

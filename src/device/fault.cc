@@ -62,12 +62,21 @@ void FaultPlan::AddBadRange(int64_t offset, int64_t length) {
 }
 
 void FaultPlan::AddDownWindow(TimePoint start, TimePoint end) {
-  windows_.push_back(Window{start, end, 0.0});
+  windows_.push_back(Window{start, end, Window::Kind::kDown});
 }
 
 void FaultPlan::AddSlowWindow(TimePoint start, TimePoint end, double factor) {
   SLED_CHECK(factor >= 1.0, "slow window factor must be >= 1");
-  windows_.push_back(Window{start, end, factor});
+  windows_.push_back(Window{start, end, Window::Kind::kSlow, factor});
+}
+
+void FaultPlan::AddGcWindow(TimePoint start, TimePoint end, Duration stall, double duty) {
+  SLED_CHECK(stall.nanos() >= 0 && duty >= 0.0 && duty <= 1.0,
+             "GC window needs a non-negative stall and duty in [0, 1]");
+  Window w{start, end, Window::Kind::kGc};
+  w.gc_stall = stall;
+  w.gc_duty = duty;
+  windows_.push_back(w);
 }
 
 bool FaultPlan::InBadRange(int64_t offset, int64_t nbytes) const {
@@ -95,7 +104,8 @@ const FaultPlan::Window* FaultPlan::ActiveWindow() const {
 
 Err FaultPlan::Judge(bool write, int64_t offset, int64_t nbytes) {
   // Down window: the whole device is unreachable; no media rolls happen.
-  if (const Window* w = ActiveWindow(); w != nullptr && w->slow_factor == 0.0) {
+  // (Slow and GC windows distort time, not success — they judge kOk.)
+  if (const Window* w = ActiveWindow(); w != nullptr && w->kind == Window::Kind::kDown) {
     ++stats_.unavailable_hits;
     ++stats_.faults_injected;
     return Err::kUnavailable;
@@ -138,8 +148,14 @@ Err FaultPlan::Judge(bool write, int64_t offset, int64_t nbytes) {
 }
 
 Duration FaultPlan::AdjustServiceTime(Duration t) {
-  if (const Window* w = ActiveWindow(); w != nullptr && w->slow_factor > 1.0) {
-    t = SecondsF(t.ToSeconds() * w->slow_factor);
+  if (const Window* w = ActiveWindow(); w != nullptr) {
+    if (w->kind == Window::Kind::kSlow && w->slow_factor > 1.0) {
+      t = SecondsF(t.ToSeconds() * w->slow_factor);
+    } else if (w->kind == Window::Kind::kGc && w->gc_duty > 0.0 &&
+               rng_.Bernoulli(w->gc_duty)) {
+      ++stats_.gc_stalls;
+      t += w->gc_stall;
+    }
   }
   if (config_.spike_prob > 0.0 && rng_.Bernoulli(config_.spike_prob)) {
     ++stats_.spikes;
@@ -151,10 +167,17 @@ Duration FaultPlan::AdjustServiceTime(Duration t) {
 DeviceHealth FaultPlan::Health() const {
   DeviceHealth h;
   if (const Window* w = ActiveWindow(); w != nullptr) {
-    if (w->slow_factor == 0.0) {
-      h.unavailable = true;
-    } else {
-      h.latency_factor = w->slow_factor;
+    switch (w->kind) {
+      case Window::Kind::kDown:
+        h.unavailable = true;
+        break;
+      case Window::Kind::kSlow:
+        h.latency_factor = w->slow_factor;
+        break;
+      case Window::Kind::kGc:
+        h.gc_stall_s = w->gc_stall.ToSeconds();
+        h.gc_duty = w->gc_duty;
+        break;
     }
   }
   return h;

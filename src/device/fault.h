@@ -25,6 +25,12 @@
 //     `kUnavailable` (down) or runs `factor` times slower (slow). This is the
 //     paper's NFS-server-down story: while a window is open the device also
 //     reports unhealthy through Health(), so SLEDs balloon their estimates.
+//   * GC windows — clock intervals during which a fraction `duty` of ops eat
+//     a fixed garbage-collection stall on top of their service time (flash
+//     write cliffs, cf. the SSD read-variability study in PAPERS.md). Unlike
+//     slow windows this is *tail* distortion: the mean moves by duty*stall
+//     while the p99 moves by the full stall, which is what distribution-
+//     valued SLEDs exist to express. GC windows never fail ops.
 //
 // Failures are fail-fast: a faulting op returns its error without touching
 // the device model, costing zero simulated device time and zero device-RNG
@@ -47,12 +53,18 @@ namespace sled {
 
 // Health summary a device reports upward for SLED construction: when a down
 // window is open the level is unavailable; a slow window inflates latency
-// and deflates bandwidth by latency_factor.
+// and deflates bandwidth by latency_factor; a GC window adds a stall of
+// gc_stall_s seconds to a gc_duty fraction of ops (tail inflation — the
+// kernel folds it into the SLED quantiles, not just the mean).
 struct DeviceHealth {
   bool unavailable = false;
   double latency_factor = 1.0;
+  double gc_stall_s = 0.0;
+  double gc_duty = 0.0;
 
-  bool degraded() const { return unavailable || latency_factor != 1.0; }
+  bool degraded() const {
+    return unavailable || latency_factor != 1.0 || gc_duty > 0.0;
+  }
 };
 
 struct FaultPlanConfig {
@@ -81,6 +93,7 @@ struct FaultStats {
   int64_t persistent_marked = 0; // bad ranges installed by probabilistic faults
   int64_t unavailable_hits = 0;  // ops rejected by a down window
   int64_t spikes = 0;            // successful ops that paid a latency spike
+  int64_t gc_stalls = 0;         // successful ops that caught a GC pause
 };
 
 class FaultPlan {
@@ -105,6 +118,9 @@ class FaultPlan {
   void FailNextWrites(int n) { forced_write_failures_ += n; }
   void AddDownWindow(TimePoint start, TimePoint end);
   void AddSlowWindow(TimePoint start, TimePoint end, double factor);
+  // While open, each op independently stalls for `stall` with probability
+  // `duty` (a GC pause caught mid-flight). Ops never fail.
+  void AddGcWindow(TimePoint start, TimePoint end, Duration stall, double duty);
 
   // Consulted by StorageDevice::Read/Write *before* the access. kOk means
   // proceed; any other code fails the op fail-fast (no device time, no
@@ -122,9 +138,13 @@ class FaultPlan {
 
  private:
   struct Window {
+    enum class Kind { kDown, kSlow, kGc };
     TimePoint start;
     TimePoint end;
-    double slow_factor = 0.0;  // 0 = down window
+    Kind kind = Kind::kDown;
+    double slow_factor = 0.0;   // kSlow: service-time multiplier
+    Duration gc_stall;          // kGc: stall added to a hit op
+    double gc_duty = 0.0;       // kGc: fraction of ops that eat the stall
   };
 
   bool InBadRange(int64_t offset, int64_t nbytes) const;

@@ -19,7 +19,7 @@ class MemoryDevice final : public StorageDevice {
       : StorageDevice(std::move(name)), config_(config) {}
 
   DeviceCharacteristics Nominal() const override {
-    return {config_.latency, config_.bandwidth_bps};
+    return {config_.latency, config_.bandwidth_bps, {}};
   }
 
   Duration Estimate(int64_t /*offset*/, int64_t nbytes) const override {

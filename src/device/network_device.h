@@ -30,11 +30,20 @@ class NetworkDevice final : public StorageDevice {
       : StorageDevice(std::move(name)), config_(config), rng_(config.seed) {}
 
   DeviceCharacteristics Nominal() const override {
-    return {config_.first_byte_latency, config_.bandwidth_bps};
+    // The first-byte latency carries symmetric uniform jitter, so quantile p
+    // sits at 1 + jitter*(2p - 1) times the center.
+    const double lat_s = config_.first_byte_latency.ToSeconds();
+    auto q = [&](double p) { return lat_s * (1.0 + config_.latency_jitter * (2.0 * p - 1.0)); };
+    DeviceCharacteristics c{config_.first_byte_latency, config_.bandwidth_bps,
+                            {q(0.50), q(0.90), q(0.99)}};
+    return c;
   }
 
   Duration Estimate(int64_t offset, int64_t nbytes) const override {
-    Duration t = TransferTime(nbytes, config_.bandwidth_bps);
+    // Expectation of Access(): per-RPC overhead plus transfer, plus the
+    // first-byte latency on a stream break (the jitter factor is symmetric
+    // around 1.0, so its mean is the configured latency itself).
+    Duration t = config_.per_request_overhead + TransferTime(nbytes, config_.bandwidth_bps);
     if (offset != stream_position_) {
       t += config_.first_byte_latency;
     }

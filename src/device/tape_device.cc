@@ -83,22 +83,18 @@ DeviceCharacteristics TapeDevice::Nominal() const {
 Duration TapeDevice::Estimate(int64_t offset, int64_t nbytes) const {
   Duration t = TransferTime(nbytes, config_.read_bandwidth_bps);
   if (!mounted_) {
-    t += config_.load_time;
-    // Locate from load point.
-    t += config_.locate_overhead +
-         TransferTime(LongitudinalOf(offset), config_.locate_bandwidth_bps) +
-         config_.track_switch * TrackOf(offset);
+    // Mount parks the head at the load point (position 0), so the locate cost
+    // is exactly the mounted locate from 0 — zero when offset == 0, matching
+    // what Access() charges after its implicit Mount().
+    t += config_.load_time + LocateBetween(config_, 0, offset);
   } else {
     t += LocateTime(offset);
   }
-  return t;
-}
-
-Duration TapeDevice::EstimateWrite(int64_t offset, int64_t nbytes) const {
-  // Access() also charges a turnaround per track boundary crossed while
-  // streaming; fold that in so writeback planning sees the true tape cost.
+  // Access() charges a turnaround per track boundary crossed while streaming,
+  // for reads and writes alike; fold it in so plans see the true tape cost.
   const int crossed = TrackOf(offset + nbytes - 1) - TrackOf(offset);
-  return Estimate(offset, nbytes) + config_.track_switch * crossed;
+  t += config_.track_switch * crossed;
+  return t;
 }
 
 Duration TapeDevice::Access(int64_t offset, int64_t nbytes, bool /*writing*/) {

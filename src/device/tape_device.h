@@ -43,7 +43,6 @@ class TapeDevice final : public StorageDevice {
 
   DeviceCharacteristics Nominal() const override;
   Duration Estimate(int64_t offset, int64_t nbytes) const override;
-  Duration EstimateWrite(int64_t offset, int64_t nbytes) const override;
   int64_t capacity_bytes() const override { return config_.capacity_bytes; }
 
   bool mounted() const { return mounted_; }

@@ -38,8 +38,10 @@ int ExtentFileSystem::LevelOf(InodeNum ino, int64_t page) const {
   if (!addr.ok()) {
     return 0;  // unallocated (sparse); report the outermost zone
   }
-  const int zone =
-      static_cast<int>((addr.value() * num_zones_) / device_->capacity_bytes());
+  // Divide by the zone width; `addr * num_zones` overflows int64 for
+  // multi-TB devices with many zones.
+  const int64_t zone_bytes = device_->capacity_bytes() / num_zones_;
+  const int zone = static_cast<int>(addr.value() / zone_bytes);
   return std::min(zone, num_zones_ - 1);
 }
 

@@ -1,0 +1,116 @@
+#include "src/fs/tiered_fs.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace sled {
+
+TieredFs::TieredFs(std::string name, std::unique_ptr<StorageDevice> fast,
+                   std::unique_ptr<StorageDevice> slow, TieredFsConfig config)
+    : FileSystem(std::move(name)), config_(config) {
+  SLED_CHECK(fast != nullptr && slow != nullptr, "tiered fs needs two devices");
+  SLED_CHECK(config_.stripe_pages >= 1, "stripe must be at least one page");
+  devices_[0] = std::move(fast);
+  devices_[1] = std::move(slow);
+  // Reserve the first page of each device for metadata, as the extent
+  // allocator does.
+  next_free_[0] = kPageSize;
+  next_free_[1] = kPageSize;
+}
+
+void TieredFs::AttachObserver(Observer* obs) {
+  FileSystem::AttachObserver(obs);
+  devices_[0]->AttachObserver(obs);
+  devices_[1]->AttachObserver(obs);
+}
+
+DeviceHealth TieredFs::LevelHealth(int local_level) const {
+  if (local_level < 0 || local_level > 1) {
+    return DeviceHealth{};
+  }
+  return devices_[static_cast<size_t>(local_level)]->Health();
+}
+
+std::vector<StorageLevelInfo> TieredFs::Levels() const {
+  return {{std::string(devices_[0]->name()), devices_[0]->Nominal()},
+          {std::string(devices_[1]->name()), devices_[1]->Nominal()}};
+}
+
+Result<void> TieredFs::OnResize(InodeNum ino, int64_t /*old_size*/, int64_t new_size) {
+  if (new_size == 0) {
+    regions_.erase(ino);
+    return Result<void>::Ok();
+  }
+  const int64_t span = (new_size + kPageSize - 1) / kPageSize;
+  Region& r = regions_[ino];
+  if (span <= r.pages) {
+    return Result<void>::Ok();  // shrink: keep the regions (bump allocator)
+  }
+  // Grow: reserve a fresh contiguous region per tier covering the whole span
+  // (the old one is abandoned — bump allocation, like the extent allocator).
+  // Each region is indexed by the *logical* page, so both tiers reserve the
+  // full span; the idle half of each stripe is simply never addressed.
+  int64_t base[2];
+  for (int t = 0; t < 2; ++t) {
+    if (next_free_[t] + span * kPageSize > devices_[t]->capacity_bytes()) {
+      return Err::kNoSpc;
+    }
+    base[t] = next_free_[t];
+  }
+  for (int t = 0; t < 2; ++t) {
+    r.base[t] = base[t];
+    next_free_[t] = base[t] + span * kPageSize;
+  }
+  r.pages = span;
+  return Result<void>::Ok();
+}
+
+Result<int64_t> TieredFs::TierAddressOf(InodeNum ino, int64_t page) const {
+  const auto it = regions_.find(ino);
+  if (it == regions_.end() || page >= it->second.pages) {
+    return Err::kInval;
+  }
+  const int tier = LevelOf(ino, page);
+  return it->second.base[tier] + page * kPageSize;
+}
+
+template <typename Op>
+Result<Duration> TieredFs::ForEachRun(InodeNum ino, int64_t first_page, int64_t count, Op op) {
+  Duration total;
+  int64_t page = first_page;
+  const int64_t end = first_page + count;
+  while (page < end) {
+    const int64_t run = LevelRunLen(ino, page, end - page);
+    const int tier = LevelOf(ino, page);
+    SLED_ASSIGN_OR_RETURN(const int64_t addr, TierAddressOf(ino, page));
+    SLED_ASSIGN_OR_RETURN(const Duration t,
+                          op(*devices_[static_cast<size_t>(tier)], addr, run * kPageSize));
+    total += t;
+    page += run;
+  }
+  return total;
+}
+
+Result<Duration> TieredFs::ReadPagesFromStore(InodeNum ino, int64_t first_page, int64_t count) {
+  return ForEachRun(ino, first_page, count,
+                    [](StorageDevice& dev, int64_t addr, int64_t nbytes) {
+                      return dev.Read(addr, nbytes);
+                    });
+}
+
+Result<Duration> TieredFs::WritePagesToStore(InodeNum ino, int64_t first_page, int64_t count) {
+  return ForEachRun(ino, first_page, count,
+                    [](StorageDevice& dev, int64_t addr, int64_t nbytes) {
+                      return dev.Write(addr, nbytes);
+                    });
+}
+
+Result<Duration> TieredFs::EstimateWritePages(InodeNum ino, int64_t first_page, int64_t count) {
+  return ForEachRun(ino, first_page, count,
+                    [](StorageDevice& dev, int64_t addr, int64_t nbytes) {
+                      return Result<Duration>(dev.EstimateWrite(addr, nbytes));
+                    });
+}
+
+}  // namespace sled

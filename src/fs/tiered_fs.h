@@ -1,0 +1,80 @@
+// Tiered file system: one namespace striped across two storage devices.
+//
+// Every file's pages alternate between tier 0 and tier 1 in fixed-size
+// stripes, the way a volume manager or tiering layer interleaves an SSD with
+// a disk. The point for SLEDs is that a *single fd* then spans levels with
+// different latency distributions: a mean-ranked picker and a p99-ranked
+// picker genuinely disagree about which half of the file to consume first
+// whenever one tier's tail is fat (an SSD inside a GC window has a cheaper
+// mean than the disk but a far worse p99). This is the testbed for
+// rank_by — no single-device file system can pose the question.
+#ifndef SLEDS_SRC_FS_TIERED_FS_H_
+#define SLEDS_SRC_FS_TIERED_FS_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/fs/filesystem.h"
+
+namespace sled {
+
+struct TieredFsConfig {
+  // Pages per stripe before switching to the other tier.
+  int64_t stripe_pages = 64;
+};
+
+class TieredFs final : public FileSystem {
+ public:
+  // `fast` becomes tier/level 0, `slow` level 1. Stripe k of a file lives on
+  // tier k % 2.
+  TieredFs(std::string name, std::unique_ptr<StorageDevice> fast,
+           std::unique_ptr<StorageDevice> slow, TieredFsConfig config = {});
+
+  Result<Duration> ReadPagesFromStore(InodeNum ino, int64_t first_page, int64_t count) override;
+  Result<Duration> WritePagesToStore(InodeNum ino, int64_t first_page, int64_t count) override;
+  Result<Duration> EstimateWritePages(InodeNum ino, int64_t first_page, int64_t count) override;
+  int LevelOf(InodeNum /*ino*/, int64_t page) const override {
+    return static_cast<int>((page / config_.stripe_pages) % 2);
+  }
+  int64_t LevelRunLen(InodeNum /*ino*/, int64_t page, int64_t max_pages) const override {
+    // O(1): a level run ends at the stripe boundary.
+    const int64_t left = config_.stripe_pages - page % config_.stripe_pages;
+    return std::min(left, max_pages);
+  }
+  std::vector<StorageLevelInfo> Levels() const override;
+  // Two devices share the queue: no flat address space, no single elevator.
+  int64_t DeviceAddressOf(InodeNum /*ino*/, int64_t /*page*/) const override { return -1; }
+  StorageDevice* PrimaryDevice() override { return nullptr; }
+  DeviceHealth LevelHealth(int local_level) const override;
+
+  void AttachObserver(Observer* obs) override;
+
+  StorageDevice& tier(int level) { return *devices_[static_cast<size_t>(level) & 1]; }
+
+ protected:
+  Result<void> OnResize(InodeNum ino, int64_t old_size, int64_t new_size) override;
+
+ private:
+  // Device time (or estimate) to move pages [first, first+count), stripe run
+  // by stripe run, each run on its own tier.
+  template <typename Op>
+  Result<Duration> ForEachRun(InodeNum ino, int64_t first_page, int64_t count, Op op);
+
+  // Byte address of `page` on its tier's device. Each inode reserves a
+  // contiguous region per tier covering its full page span (simple and
+  // sparse-friendly; the region index is the logical page itself).
+  Result<int64_t> TierAddressOf(InodeNum ino, int64_t page) const;
+
+  TieredFsConfig config_;
+  std::unique_ptr<StorageDevice> devices_[2];
+  struct Region {
+    int64_t base[2] = {-1, -1};  // per-tier region start (device bytes)
+    int64_t pages = 0;           // logical pages the regions cover
+  };
+  std::unordered_map<InodeNum, Region> regions_;
+  int64_t next_free_[2];  // per-tier bump pointer
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_FS_TIERED_FS_H_

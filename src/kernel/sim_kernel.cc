@@ -1008,10 +1008,27 @@ Result<SledVector> SimKernel::BuildSleds(Process& p, const OpenFile& of, int64_t
       s.unavailable = true;
       s.latency = config_.fault.unavailable_latency_s;
       s.bandwidth = row.chars.bandwidth_bps;
+      s.latency_p50 = s.latency_p90 = s.latency_p99 = s.latency;
     } else {
-      // Slow window: the level answers, just late — scale the estimate.
+      // Slow window: the level answers, just late — scale the estimate (the
+      // whole distribution shifts together).
       s.latency = row.chars.latency.ToSeconds() * health.latency_factor;
       s.bandwidth = row.chars.bandwidth_bps / health.latency_factor;
+      LatencyQuantiles q = row.chars.Quantiles().Scaled(health.latency_factor);
+      // GC window: a duty-fraction of ops eat a fixed stall. The *mean* moves
+      // by duty * stall, but quantile p absorbs the whole stall whenever duty
+      // exceeds 1 - p — tail risk lives in the tail, which is exactly what a
+      // scalar SLED cannot say.
+      if (health.gc_duty > 0.0) {
+        const double stall = health.gc_stall_s;
+        s.latency += health.gc_duty * stall;
+        if (health.gc_duty > 0.50) q.p50 += stall;
+        if (health.gc_duty > 0.10) q.p90 += stall;
+        if (health.gc_duty > 0.01) q.p99 += stall;
+      }
+      s.latency_p50 = q.p50;
+      s.latency_p90 = q.p90;
+      s.latency_p99 = q.p99;
     }
     sleds.push_back(s);
   };

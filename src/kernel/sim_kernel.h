@@ -79,7 +79,7 @@ struct KernelConfig {
   PageCacheConfig cache;
   // Primary-memory characteristics: the cost of delivering cached pages to
   // user space, and row 0 of the sleds_table (paper Table 2: 175 ns, 48 MB/s).
-  DeviceCharacteristics memory{Nanoseconds(175), 48.0e6};
+  DeviceCharacteristics memory{Nanoseconds(175), 48.0e6, {}};
   // Sequential readahead window, in pages (Linux 2.2 used small windows that
   // grow on sequential access, up to 32 pages / 128 KiB).
   int min_readahead_pages = 4;

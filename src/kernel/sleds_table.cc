@@ -18,7 +18,16 @@ Result<void> SledsTable::Fill(int level, DeviceCharacteristics chars) {
   if (level < 0 || level >= size()) {
     return Err::kInval;
   }
-  rows_[static_cast<size_t>(level)].chars = chars;
+  Row& row = rows_[static_cast<size_t>(level)];
+  // Scalar calibration (a caller measuring only means) must not erase the
+  // model's tail shape: rescale the existing quantiles by the mean ratio.
+  // A caller that does provide quantiles replaces them wholesale.
+  if (chars.latency_q.empty() && !row.chars.latency_q.empty() &&
+      row.chars.latency.nanos() > 0) {
+    const double ratio = chars.latency.ToSeconds() / row.chars.latency.ToSeconds();
+    chars.latency_q = row.chars.latency_q.Scaled(ratio);
+  }
+  row.chars = chars;
   return Result<void>::Ok();
 }
 

@@ -32,11 +32,33 @@ bool ValidContext(const SledsContext& ctx) {
 
 long sleds_pick_init(SledsContext ctx, int fd, long preferred_buffer_size,
                      int record_separator) {
+  return sleds_pick_init_ranked(ctx, fd, preferred_buffer_size, SLEDS_RANK_MEAN,
+                                record_separator);
+}
+
+long sleds_pick_init_ranked(SledsContext ctx, int fd, long preferred_buffer_size,
+                            int rank_by, int record_separator) {
   if (!ValidContext(ctx) || preferred_buffer_size <= 0) {
     return -1;
   }
   PickerOptions options;
   options.preferred_chunk_bytes = preferred_buffer_size;
+  switch (rank_by) {
+    case SLEDS_RANK_MEAN:
+      options.rank_by = RankBy::kMean;
+      break;
+    case SLEDS_RANK_P50:
+      options.rank_by = RankBy::kP50;
+      break;
+    case SLEDS_RANK_P90:
+      options.rank_by = RankBy::kP90;
+      break;
+    case SLEDS_RANK_P99:
+      options.rank_by = RankBy::kP99;
+      break;
+    default:
+      return -1;
+  }
   if (record_separator >= 0) {
     options.record_oriented = true;
     options.record_separator = static_cast<char>(record_separator);

@@ -34,6 +34,20 @@ inline constexpr int SLEDS_BEST = 1;
 long sleds_pick_init(SledsContext ctx, int fd, long preferred_buffer_size,
                      int record_separator = -1);
 
+// Ranking statistics for sleds_pick_init_ranked.
+inline constexpr int SLEDS_RANK_MEAN = 0;
+inline constexpr int SLEDS_RANK_P50 = 1;
+inline constexpr int SLEDS_RANK_P90 = 2;
+inline constexpr int SLEDS_RANK_P99 = 3;
+
+// Extension: sleds_pick_init with an explicit latency statistic ordering the
+// plan (SLEDS_RANK_*). The paper-era sleds_pick_init is exactly
+// SLEDS_RANK_MEAN, so existing callers keep their byte-identical plans; the
+// quantile fields ride in extension slots of `struct sled` that old readers
+// never look at.
+long sleds_pick_init_ranked(SledsContext ctx, int fd, long preferred_buffer_size,
+                            int rank_by, int record_separator = -1);
+
 // Advise the next read. Returns 0 and fills *offset/*nbytes; *nbytes == 0
 // when the file has been fully offered. Returns -1 on error or if
 // sleds_pick_init was not called for this fd.

@@ -10,10 +10,12 @@ namespace {
 
 constexpr int64_t kScanBlock = 4 * kKiB;
 
-void SortPickOrder(SledVector& sleds) {
-  std::stable_sort(sleds.begin(), sleds.end(), [](const Sled& a, const Sled& b) {
-    if (a.latency != b.latency) {
-      return a.latency < b.latency;
+void SortPickOrder(SledVector& sleds, RankBy rank_by) {
+  std::stable_sort(sleds.begin(), sleds.end(), [rank_by](const Sled& a, const Sled& b) {
+    const double la = RankLatency(a, rank_by);
+    const double lb = RankLatency(b, rank_by);
+    if (la != lb) {
+      return la < lb;
     }
     return a.offset < b.offset;
   });
@@ -121,7 +123,7 @@ Result<void> SledsPicker::BuildPlan() {
     AdjustToElementBoundaries(sleds);
   }
   PruneUnavailable(sleds);
-  SortPickOrder(sleds);
+  SortPickOrder(sleds, options_.rank_by);
   plan_ = std::move(sleds);
   current_ = 0;
   position_ = plan_.empty() ? 0 : plan_.front().offset;
@@ -183,7 +185,7 @@ Result<void> SledsPicker::AdjustToRecordBoundaries(SledVector& sleds) {
   }
   for (size_t i = 0; i + 1 < sleds.size(); ++i) {
     const int64_t b = boundary[i];
-    if (sleds[i + 1].latency < sleds[i].latency) {
+    if (RankLatency(sleds[i + 1], options_.rank_by) < RankLatency(sleds[i], options_.rank_by)) {
       // Left edge of a low-latency SLED: push the leading record fragment out
       // to the expensive neighbour by scanning forward (on the cheap side)
       // for the first record start.
@@ -193,7 +195,8 @@ Result<void> SledsPicker::AdjustToRecordBoundaries(SledVector& sleds) {
       if (adjusted >= 0) {
         boundary[i] = adjusted;
       }
-    } else if (sleds[i].latency < sleds[i + 1].latency) {
+    } else if (RankLatency(sleds[i], options_.rank_by) <
+               RankLatency(sleds[i + 1], options_.rank_by)) {
       // Right edge of a low-latency SLED: push the trailing fragment out by
       // scanning backward (still on the cheap side) for the last record end.
       const int64_t scan_limit = std::max(sleds[i].offset, b - options_.max_record_scan_bytes);
@@ -240,11 +243,12 @@ void SledsPicker::AdjustToElementBoundaries(SledVector& sleds) const {
       continue;  // inside the header region; element grid starts at base
     }
     const int64_t rel = b - base;
-    if (sleds[i + 1].latency < sleds[i].latency) {
+    if (RankLatency(sleds[i + 1], options_.rank_by) < RankLatency(sleds[i], options_.rank_by)) {
       // Left edge of a low-latency SLED: round up (fragment joins the
       // expensive left neighbour).
       boundary[i] = base + ((rel + elem - 1) / elem) * elem;
-    } else if (sleds[i].latency < sleds[i + 1].latency) {
+    } else if (RankLatency(sleds[i], options_.rank_by) <
+               RankLatency(sleds[i + 1], options_.rank_by)) {
       // Right edge: round down.
       boundary[i] = base + (rel / elem) * elem;
     }
@@ -290,7 +294,7 @@ Result<void> SledsPicker::Refresh() {
     AdjustToElementBoundaries(fresh);
   }
   PruneUnavailable(fresh);
-  SortPickOrder(fresh);
+  SortPickOrder(fresh, options_.rank_by);
   plan_ = std::move(fresh);
   current_ = 0;
   position_ = plan_.empty() ? 0 : plan_.front().offset;

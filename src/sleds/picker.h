@@ -53,6 +53,12 @@ struct PickerOptions {
   // init only (the paper's implementation).
   int refresh_every_n_picks = 0;
 
+  // Which latency statistic orders (and edge-adjusts) the plan. kMean is the
+  // paper's behavior; kP99 sorts by tail risk, deferring sections whose
+  // distribution is wide (an SSD inside a GC window) even when their mean
+  // looks cheap. Falls back to the mean for uncharacterized SLEDs.
+  RankBy rank_by = RankBy::kMean;
+
   // Drop sections whose storage level is unreachable (Sled::unavailable)
   // from the plan instead of merely deferring them: the picker consumes all
   // reachable data and reports the pruned byte count. With periodic refresh,

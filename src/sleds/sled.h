@@ -42,6 +42,17 @@ struct Sled {
   // also prune it outright (PickerOptions::prune_unavailable).
   bool unavailable = false;
 
+  // Extension: fixed quantiles of the first-byte latency distribution, in
+  // seconds. `latency` above stays the *mean* — the scalar every paper-era
+  // consumer reads — while these express the spread: an SSD mid-GC and a
+  // quiet disk can share a mean yet differ 10x at the p99, and only the
+  // quantiles let a picker defer the section whose tail bites (rank_by).
+  // All-zero means "not characterized"; use Quantile()/RankLatency, which
+  // fall back to the mean.
+  double latency_p50 = 0.0;
+  double latency_p90 = 0.0;
+  double latency_p99 = 0.0;
+
   // Estimated time to deliver the whole section.
   Duration DeliveryTime() const {
     return SecondsF(latency) + TransferTime(length, bandwidth);
@@ -51,6 +62,27 @@ struct Sled {
 };
 
 using SledVector = std::vector<Sled>;
+
+// Which statistic of a SLED's latency distribution an ordering consumer
+// ranks by. kMean reproduces the paper's scalar behavior exactly.
+enum class RankBy { kMean, kP50, kP90, kP99 };
+
+// The ranking statistic of `s` under `rank_by`, falling back to the scalar
+// mean when the SLED carries no quantile characterization.
+inline double RankLatency(const Sled& s, RankBy rank_by) {
+  const bool has_q = s.latency_p50 != 0.0 || s.latency_p90 != 0.0 || s.latency_p99 != 0.0;
+  switch (rank_by) {
+    case RankBy::kP50:
+      return has_q ? s.latency_p50 : s.latency;
+    case RankBy::kP90:
+      return has_q ? s.latency_p90 : s.latency;
+    case RankBy::kP99:
+      return has_q ? s.latency_p99 : s.latency;
+    case RankBy::kMean:
+      break;
+  }
+  return s.latency;
+}
 
 // Estimated delivery time for a whole SLED vector under a given access plan
 // (see sleds_total_delivery_time, §4.2):

@@ -13,9 +13,11 @@
 #include "src/device/cdrom_device.h"
 #include "src/device/disk_device.h"
 #include "src/device/network_device.h"
+#include "src/device/ssd_device.h"
 #include "src/fs/extent_file_system.h"
 #include "src/fs/hsm_fs.h"
 #include "src/fs/remote_fs.h"
+#include "src/fs/tiered_fs.h"
 #include "src/sleds/delivery.h"
 #include "src/workload/fits_gen.h"
 #include "src/workload/text_gen.h"
@@ -181,7 +183,7 @@ std::string SledShell::Execute(const std::string& line) {
 
 std::string SledShell::CmdMount(const std::vector<std::string>& args) {
   if (args.size() != 2) {
-    return "usage: mount <ext2|zoned|cdrom|nfs|hsm|remote> <path>\n";
+    return "usage: mount <ext2|zoned|cdrom|nfs|ssd|tiered|hsm|remote> <path>\n";
   }
   std::unique_ptr<FileSystem> fs;
   const uint64_t seed = rng_.Uniform(1, 1 << 30);
@@ -203,6 +205,17 @@ std::string SledShell::CmdMount(const std::vector<std::string>& args) {
     NetworkDeviceConfig nc;
     nc.seed = seed;
     fs = std::make_unique<NfsFs>("nfs", std::make_unique<NetworkDevice>(nc)) ;
+  } else if (args[0] == "ssd") {
+    SsdDeviceConfig sc;
+    sc.seed = seed;
+    fs = std::make_unique<ExtFs>("ssd", std::make_unique<SsdDevice>(sc));
+  } else if (args[0] == "tiered") {
+    SsdDeviceConfig sc;
+    sc.seed = seed;
+    DiskDeviceConfig dc;
+    dc.seed = seed + 1;
+    fs = std::make_unique<TieredFs>("tiered", std::make_unique<SsdDevice>(sc),
+                                    std::make_unique<DiskDevice>(dc));
   } else if (args[0] == "hsm") {
     HsmFsConfig hc;
     hc.staging_capacity_bytes = 512LL * 1024 * 1024;
@@ -538,8 +551,14 @@ std::string SledShell::CmdStats() {
   out += "sleds_table:\n";
   for (int i = 0; i < kernel_->sleds_table().size(); ++i) {
     const SledsTable::Row& row = kernel_->sleds_table().row(i);
-    out += Format("  [%d] %-10s %12s %8.1f MB/s\n", i, row.name.c_str(),
+    out += Format("  [%d] %-10s %12s %8.1f MB/s", i, row.name.c_str(),
                   row.chars.latency.ToString().c_str(), row.chars.bandwidth_bps / 1e6);
+    if (!row.chars.latency_q.empty()) {
+      const LatencyQuantiles& q = row.chars.latency_q;
+      out += Format("  p50 %s p90 %s p99 %s", SecondsF(q.p50).ToString().c_str(),
+                    SecondsF(q.p90).ToString().c_str(), SecondsF(q.p99).ToString().c_str());
+    }
+    out += "\n";
   }
   return out;
 }

@@ -94,7 +94,7 @@ Testbed MakeLheasoftTestbed(uint64_t seed) {
   config.kind = StorageKind::kDisk;
   config.seed = seed;
   // Table 3: memory 210 ns / 87 MB/s, disk 16.5 ms / 7.0 MB/s.
-  config.memory = DeviceCharacteristics{Nanoseconds(210), 87.0e6};
+  config.memory = DeviceCharacteristics{Nanoseconds(210), 87.0e6, {}};
   // Seek curve averaging ~12.3 ms + half a 7200 rpm rotation ~= 16.5 ms.
   Testbed tb;
   KernelConfig kc;

@@ -26,7 +26,7 @@ struct TestbedConfig {
   // ~40 MiB of 4 KiB pages.
   int64_t cache_pages = 10240;
   ReplacementPolicy cache_policy = ReplacementPolicy::kLru;
-  DeviceCharacteristics memory{Nanoseconds(175), 48.0e6};  // Table 2 row 1
+  DeviceCharacteristics memory{Nanoseconds(175), 48.0e6, {}};  // Table 2 row 1
   int min_readahead_pages = 4;
   int max_readahead_pages = 32;
   ExtentAllocatorConfig alloc;  // data-FS allocation (fragmentation ablation)

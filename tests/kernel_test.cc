@@ -274,7 +274,7 @@ TEST(KernelTest, SledsFillOverridesTableRow) {
   // Level 1 is the disk (level 0 = memory). Install measured values.
   ASSERT_TRUE(w.kernel
                   ->IoctlSledsFill(*w.proc, 1,
-                                   DeviceCharacteristics{Milliseconds(25), 5.0e6})
+                                   DeviceCharacteristics{Milliseconds(25), 5.0e6, {}})
                   .ok());
   const int fd = w.kernel->Open(*w.proc, "/f").value();
   SledVector sleds = w.kernel->IoctlSledsGet(*w.proc, fd).value();
