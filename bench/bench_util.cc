@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "src/common/units.h"
+#include "src/shard/shard_runtime.h"
 
 namespace sled {
 
@@ -185,7 +186,15 @@ const std::string& BuildMetadataJson() {
     out += JsonEscape(cpu);
     out += "\", \"git_sha\": \"";
     out += JsonEscape(sha);
-    out += "\"}";
+    // Parallelism provenance: wall-clock numbers from a sharded run only
+    // compare across hosts with the same effective parallelism, so stamp the
+    // hardware-thread count and the resolved default shard count ($SLEDS_SHARDS
+    // or hardware threads).
+    out += "\", \"hardware_threads\": ";
+    out += std::to_string(HardwareThreads());
+    out += ", \"shards\": ";
+    out += std::to_string(ResolveShardCount(0));
+    out += "}";
     return out;
   }();
   return json;

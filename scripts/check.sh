@@ -2,8 +2,9 @@
 # Tier-1 gate, a Release perf-regression gate over the wall-clock bench suite,
 # and a sanitizer pass over the test suite.
 #
-#   scripts/check.sh                  # tier-1, perf gate, ASan+UBSan ctest
-#   SKIP_SAN=1 scripts/check.sh       # skip the sanitizer pass
+#   scripts/check.sh                  # tier-1, perf gate, ASan+UBSan, TSan
+#   SKIP_SAN=1 scripts/check.sh       # skip the ASan+UBSan pass
+#   SKIP_TSAN=1 scripts/check.sh      # skip the ThreadSanitizer smoke
 #   SKIP_PERF=1 scripts/check.sh      # skip the Release perf stage entirely
 #   SKIP_PERF_GATE=1 scripts/check.sh # run the benches but don't fail on
 #                                     # regression (noisy/shared machines)
@@ -61,16 +62,20 @@ rm -rf "${acc_json_dir}"
 if [[ "${SKIP_PERF:-}" == "1" ]]; then
   echo "==== perf stage skipped (SKIP_PERF=1) ===="
 else
-  echo "==== perf gate: Release bench_micro + bench_scale vs baselines ===="
+  echo "==== perf gate: Release bench_micro + bench_scale + bench_shard vs baselines ===="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build build-release -j --target bench_micro bench_scale
+  cmake --build build-release -j --target bench_micro bench_scale bench_shard
   perf_json_dir="$(mktemp -d)"
-  # Crash or hang in either bench fails the gate outright; the speedup
-  # comparison below only runs once both JSON blocks exist.
+  # Crash or hang in any bench fails the gate outright; the speedup
+  # comparison below only runs once every JSON block exists.
   SLEDS_BENCH_JSON_DIR="${perf_json_dir}" timeout 300 \
     ./build-release/bench/bench_micro --benchmark_filter='BM_PageCacheTouchHit'
   SLEDS_BENCH_JSON_DIR="${perf_json_dir}" timeout 600 \
     ./build-release/bench/bench_scale
+  # bench_shard also asserts the shard determinism contract (N-shard merged
+  # results byte-identical to the single-shard oracle) before timing.
+  SLEDS_BENCH_JSON_DIR="${perf_json_dir}" timeout 600 \
+    ./build-release/bench/bench_shard
   if [[ "${SKIP_PERF_GATE:-}" == "1" ]]; then
     echo "==== perf-regression comparison skipped (SKIP_PERF_GATE=1) ===="
   elif command -v python3 >/dev/null 2>&1; then
@@ -86,16 +91,31 @@ fi
 
 if [[ "${SKIP_SAN:-}" == "1" ]]; then
   echo "==== sanitizer pass skipped (SKIP_SAN=1) ===="
-  exit 0
+else
+  echo "==== sanitizers: ASan+UBSan build + ctest ===="
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}" >/dev/null
+  cmake --build build-asan -j
+  (cd build-asan && ctest --output-on-failure -j)
 fi
 
-echo "==== sanitizers: ASan+UBSan build + ctest ===="
-SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
-cmake -B build-asan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
-  -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}" >/dev/null
-cmake --build build-asan -j
-(cd build-asan && ctest --output-on-failure -j)
+if [[ "${SKIP_TSAN:-}" == "1" ]]; then
+  echo "==== ThreadSanitizer smoke skipped (SKIP_TSAN=1) ===="
+else
+  echo "==== ThreadSanitizer smoke: shard runtime under TSan ===="
+  # Only the shard suite runs threads; building just its test keeps the stage
+  # fast while covering the SPSC rings, the message pool, and the worker
+  # threads racing real multi-mount kernels.
+  TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}" >/dev/null
+  cmake --build build-tsan -j --target shard_diff_test
+  (cd build-tsan && ctest -R '^shard_diff_test$' --output-on-failure)
+fi
 
 echo "==== all checks passed ===="

@@ -14,7 +14,12 @@ Refresh the baselines after an intentional perf change:
     SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_micro \
         --benchmark_filter='BM_PageCacheTouchHit'
     SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_scale
+    SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_shard
     scripts/perf_gate.py --refresh /tmp/bj
+
+For bench_shard the gated `speedup` is parallel efficiency (raw speedup per
+usable core), so the same baseline is meaningful on hosts with different core
+counts.
 
 Accuracy mode (`--accuracy <json_dir>`) gates the `error` fields of
 BENCH_estimate_accuracy.json (estimate-vs-access MAPE and end-to-end bias,
@@ -93,7 +98,7 @@ def refresh(json_dir, baselines_path):
         "baselines (lower is better, ceiling baseline * %.2f); refresh with "
         "--refresh-accuracy <json_dir>" % (TOLERANCE, ACCURACY_TOLERANCE)
     )
-    payload["benches"] = collect(json_dir, ["micro", "scale"])
+    payload["benches"] = collect(json_dir, ["micro", "scale", "shard"])
     write_baselines(payload, baselines_path)
 
 

@@ -32,22 +32,30 @@ FaultPlan::FaultPlan(FaultPlanConfig config) : config_(config), rng_(config.seed
 }
 
 std::shared_ptr<FaultPlan> FaultPlan::FromEnv(std::string_view device_name) {
-  const char* env = std::getenv("SLEDS_FAULT_SEED");
-  if (env == nullptr) {
-    return nullptr;
-  }
-  const uint64_t seed = std::strtoull(env, nullptr, 10);
-  if (seed == 0) {
-    return nullptr;  // "0" means off, same as unset
+  // Env resolution cached once per process (thread-safe magic static):
+  // devices are constructed on shard worker threads, and every shard must see
+  // the same plan parameters regardless of construction order.
+  struct EnvPlan {
+    uint64_t seed = 0;
+    double p = 0.002;
+  };
+  static const EnvPlan env_plan = [] {
+    EnvPlan plan;
+    if (const char* env = std::getenv("SLEDS_FAULT_SEED")) {
+      plan.seed = std::strtoull(env, nullptr, 10);
+    }
+    if (const char* pe = std::getenv("SLEDS_FAULT_P"); pe != nullptr) {
+      plan.p = std::clamp(std::strtod(pe, nullptr), 0.0, 1.0);
+    }
+    return plan;
+  }();
+  if (env_plan.seed == 0) {
+    return nullptr;  // unset or "0" means off
   }
   FaultPlanConfig fc;
-  fc.seed = seed * 1099511628211ull ^ HashName(device_name);
-  double p = 0.002;
-  if (const char* pe = std::getenv("SLEDS_FAULT_P"); pe != nullptr) {
-    p = std::clamp(std::strtod(pe, nullptr), 0.0, 1.0);
-  }
-  fc.read_fault_prob = p;
-  fc.write_fault_prob = p;
+  fc.seed = env_plan.seed * 1099511628211ull ^ HashName(device_name);
+  fc.read_fault_prob = env_plan.p;
+  fc.write_fault_prob = env_plan.p;
   // Transient-only, controller-masked: the fault rolls run hot on every op
   // but an escape needs (retries+1) consecutive fault rolls, so the tier-1
   // suite passes unchanged under the smoke plan.

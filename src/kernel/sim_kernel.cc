@@ -26,18 +26,26 @@ IoMode ResolveIoMode(IoMode mode) {
   if (mode != IoMode::kFromEnv) {
     return mode;
   }
-  const char* env = std::getenv("SLEDS_IO_MODE");
-  if (env == nullptr) {
+  // Resolved once per process (thread-safe magic static): shard workers
+  // construct kernels concurrently, and libc's environment is the one piece
+  // of process-global state those constructions would otherwise all touch.
+  // Caching also guarantees every shard resolves the same mode even if the
+  // environment were mutated mid-run.
+  static const IoMode env_mode = [] {
+    const char* env = std::getenv("SLEDS_IO_MODE");
+    if (env == nullptr) {
+      return IoMode::kFifoSync;
+    }
+    const std::string_view v(env);
+    if (v == "elevator" || v == "clook") {
+      return IoMode::kElevator;
+    }
+    if (v == "fifo_async" || v == "fifo") {
+      return IoMode::kFifoAsync;
+    }
     return IoMode::kFifoSync;
-  }
-  const std::string_view v(env);
-  if (v == "elevator" || v == "clook") {
-    return IoMode::kElevator;
-  }
-  if (v == "fifo_async" || v == "fifo") {
-    return IoMode::kFifoAsync;
-  }
-  return IoMode::kFifoSync;
+  }();
+  return env_mode;
 }
 
 }  // namespace

@@ -1,0 +1,39 @@
+#include "src/obs/merge.h"
+
+#include <cstdio>
+
+#include "src/common/log.h"
+#include "src/obs/observer.h"
+
+namespace sled {
+
+void ObsAccumulator::Absorb(const Observer& obs) {
+  metrics.MergeFrom(obs.metrics());
+  trace_total += obs.trace().total();
+  trace_retained += static_cast<int64_t>(obs.trace().size());
+  trace_dropped += obs.trace().dropped();
+  ++observers_absorbed;
+}
+
+void ObsAccumulator::Absorb(const ObsAccumulator& other) {
+  metrics.MergeFrom(other.metrics);
+  trace_total += other.trace_total;
+  trace_retained += other.trace_retained;
+  trace_dropped += other.trace_dropped;
+  observers_absorbed += other.observers_absorbed;
+}
+
+std::string ObsAccumulator::MetricsJson() const {
+  std::string out = metrics.ToJson();
+  SLED_CHECK(!out.empty() && out.back() == '}', "malformed metrics json");
+  out.pop_back();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                ",  \"trace\": {\"total\": %lld, \"retained\": %lld, \"dropped\": %lld}\n}",
+                static_cast<long long>(trace_total), static_cast<long long>(trace_retained),
+                static_cast<long long>(trace_dropped));
+  out += buf;
+  return out;
+}
+
+}  // namespace sled

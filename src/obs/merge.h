@@ -1,0 +1,46 @@
+// Merge-on-export for sharded observability. Each shard's worlds own a full
+// Observer (metric registry + trace ring) that dies with the world's kernel;
+// an ObsAccumulator is the thread-confined per-shard sink those observers are
+// absorbed into, and per-shard accumulators merge into one for export once
+// the workers have joined.
+//
+// Every merge operation is commutative and associative (counter adds,
+// bucket-wise histogram adds, min/max, trace-total sums), so the exported
+// JSON is byte-identical regardless of shard count, world placement, or merge
+// order — the property that lets an N-shard run be diffed against the
+// single-shard oracle as a string.
+#ifndef SLEDS_SRC_OBS_MERGE_H_
+#define SLEDS_SRC_OBS_MERGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace sled {
+
+class Observer;
+
+struct ObsAccumulator {
+  MetricRegistry metrics;
+  // TraceRing contents stay with their world (events are debugging state, not
+  // aggregate results); the export keeps the same summary block
+  // Observer::MetricsJson emits, summed across absorbed rings.
+  int64_t trace_total = 0;
+  int64_t trace_retained = 0;
+  int64_t trace_dropped = 0;
+  int64_t observers_absorbed = 0;
+
+  // Fold one world's observer in (called on the shard thread that owns both).
+  void Absorb(const Observer& obs);
+  // Fold another accumulator in (called after workers join).
+  void Absorb(const ObsAccumulator& other);
+
+  // Same shape as Observer::MetricsJson: the merged registry plus the summed
+  // trace block.
+  std::string MetricsJson() const;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_OBS_MERGE_H_

@@ -61,6 +61,23 @@ void LatencyHistogram::Record(Duration d) {
   }
 }
 
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 Duration LatencyHistogram::Quantile(double q) const {
   if (count_ == 0) {
     return Duration();
@@ -103,6 +120,29 @@ void MetricRegistry::Observe(std::string_view histogram, Duration d) {
     it = histograms_.emplace(std::string(histogram), LatencyHistogram{}).first;
   }
   it->second.Record(d);
+}
+
+void MetricRegistry::MergeFrom(const MetricRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    Add(name, value);
+  }
+  // Gauges are last-value samples per shard; the merged export reports their
+  // sum (e.g. total resident pages across all shard caches).
+  for (const auto& [name, value] : other.gauges_) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauges_.emplace(name, value);
+    } else {
+      it->second += value;
+    }
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, LatencyHistogram{}).first;
+    }
+    it->second.MergeFrom(h);
+  }
 }
 
 int64_t MetricRegistry::counter(std::string_view name) const {

@@ -33,6 +33,11 @@ class LatencyHistogram {
 
   void Record(Duration d);
 
+  // Bucket-wise merge for shard aggregation. Commutative and associative
+  // (integer adds, min/max), so a merged histogram is identical however the
+  // samples were partitioned across shards.
+  void MergeFrom(const LatencyHistogram& other);
+
   int64_t count() const { return count_; }
   Duration sum() const { return sum_; }
   Duration min() const { return count_ == 0 ? Duration() : min_; }
@@ -65,6 +70,12 @@ class MetricRegistry {
   // that is omitted entirely while no gauge exists, so subsystems that never
   // set one keep their exports byte-identical.
   void SetGauge(std::string_view gauge, int64_t value);
+
+  // Merge another registry into this one: counters and gauges add, histograms
+  // merge bucket-wise. All operations commute, so merging per-shard
+  // registries yields the same result for any shard count and merge order —
+  // the property the shard differential test pins down.
+  void MergeFrom(const MetricRegistry& other);
 
   // 0 / nullptr when the key was never recorded.
   int64_t counter(std::string_view name) const;

@@ -1,0 +1,100 @@
+// Pooled cross-shard messages. A ShardChannel pairs two SPSC rings over one
+// preallocated message slab: worker-to-control traffic travels the outbox
+// ring, and consumed messages return to the worker through the freelist ring.
+// After construction nothing allocates, so a shard's hot simulation loop can
+// report progress without touching the global heap (the allocator is the one
+// lock all shards would otherwise share).
+//
+//   worker thread                    control thread
+//   Acquire() <--- freelist ring --- Release(msg)
+//   Send(msg) ---- outbox ring ----> Receive()
+//
+// Each ring has exactly one producer and one consumer, so the SPSC contract
+// holds: the worker produces into the outbox and consumes the freelist; the
+// control thread consumes the outbox and produces into the freelist.
+#ifndef SLEDS_SRC_SHARD_MESSAGE_POOL_H_
+#define SLEDS_SRC_SHARD_MESSAGE_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/shard/spsc_queue.h"
+
+namespace sled {
+
+// Fixed-size message record. Plain data only: messages are reused from the
+// pool, so nothing here may own memory.
+struct ShardMessage {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kProgress,   // a shard finished a unit of work (e.g. one process loop)
+    kWorldDone,  // a shard finished simulating one world
+  };
+
+  Kind kind = Kind::kNone;
+  int32_t shard = 0;
+  int64_t world = 0;
+  int64_t sim_ns = 0;    // simulated time reached by the reporting kernel
+  int64_t syscalls = 0;  // syscalls completed in the reported unit
+  int64_t pages = 0;     // pages paged in during the reported unit
+};
+
+class ShardChannel {
+ public:
+  // `messages` is the pool size; both rings are sized to hold the whole pool
+  // so Send and Release can never fail (at most `messages` are in flight).
+  explicit ShardChannel(size_t messages)
+      : slab_(messages < 2 ? 2 : messages), outbox_(slab_.size()), freelist_(slab_.size()) {
+    for (uint32_t i = 0; i < slab_.size(); ++i) {
+      SLED_CHECK(freelist_.TryPush(i), "freelist ring smaller than slab");
+    }
+  }
+
+  size_t pool_size() const { return slab_.size(); }
+
+  // ---- worker (producer) side ----
+  // nullptr when the pool is dry (control has not recycled yet); the caller
+  // decides whether to spin, yield, or drop.
+  ShardMessage* Acquire() {
+    uint32_t index;
+    if (!freelist_.TryPop(&index)) {
+      return nullptr;
+    }
+    ShardMessage* m = &slab_[index];
+    *m = ShardMessage{};
+    return m;
+  }
+
+  void Send(ShardMessage* m) {
+    SLED_CHECK(outbox_.TryPush(IndexOf(m)), "shard outbox overflow");
+  }
+
+  // ---- control (consumer) side ----
+  ShardMessage* Receive() {
+    uint32_t index;
+    if (!outbox_.TryPop(&index)) {
+      return nullptr;
+    }
+    return &slab_[index];
+  }
+
+  void Release(ShardMessage* m) {
+    SLED_CHECK(freelist_.TryPush(IndexOf(m)), "shard freelist overflow");
+  }
+
+ private:
+  uint32_t IndexOf(const ShardMessage* m) const {
+    SLED_CHECK(m >= slab_.data() && m < slab_.data() + slab_.size(),
+               "message not from this channel's pool");
+    return static_cast<uint32_t>(m - slab_.data());
+  }
+
+  std::vector<ShardMessage> slab_;
+  SpscQueue<uint32_t> outbox_;
+  SpscQueue<uint32_t> freelist_;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_SHARD_MESSAGE_POOL_H_

@@ -1,0 +1,84 @@
+// Lock-free single-producer/single-consumer ring buffer for cross-shard
+// messages. Exactly one thread may call the producer side (TryPush) and
+// exactly one thread the consumer side (TryPop); under that contract every
+// operation is wait-free and allocation-free after construction.
+//
+// The layout is the classic cached-index SPSC ring (cf. the HFT backtester's
+// order queues in SNIPPETS.md): head and tail live on separate cache lines,
+// and each side keeps a cached copy of the other's index so the hot path
+// touches shared state only when its cached view says the ring might be
+// full/empty. Indices are monotonic 64-bit counters masked into a
+// power-of-two slot array, so empty is head == tail and full is
+// tail - head == capacity with no wasted slot.
+#ifndef SLEDS_SRC_SHARD_SPSC_QUEUE_H_
+#define SLEDS_SRC_SHARD_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sled {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(size_t min_capacity)
+      : slots_(std::bit_ceil(min_capacity < 2 ? size_t{2} : min_capacity)),
+        mask_(slots_.size() - 1) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  // Producer side. Returns false when the ring is full.
+  bool TryPush(const T& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= slots_.size()) {
+        return false;
+      }
+    }
+    slots_[static_cast<size_t>(tail) & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) {
+        return false;
+      }
+    }
+    *out = slots_[static_cast<size_t>(head) & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer-side view; may undercount while the producer is mid-push.
+  size_t SizeApprox() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_acquire) -
+                               head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_;
+  // Consumer-owned: next slot to pop, plus the producer index as last seen.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t tail_cache_ = 0;
+  // Producer-owned: next slot to fill, plus the consumer index as last seen.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t head_cache_ = 0;
+};
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_SHARD_SPSC_QUEUE_H_
