@@ -62,9 +62,9 @@ rm -rf "${acc_json_dir}"
 if [[ "${SKIP_PERF:-}" == "1" ]]; then
   echo "==== perf stage skipped (SKIP_PERF=1) ===="
 else
-  echo "==== perf gate: Release bench_micro + bench_scale + bench_shard vs baselines ===="
+  echo "==== perf gate: Release bench_micro + bench_scale + bench_shard + bench_openloop vs baselines ===="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build build-release -j --target bench_micro bench_scale bench_shard
+  cmake --build build-release -j --target bench_micro bench_scale bench_shard bench_openloop
   perf_json_dir="$(mktemp -d)"
   # Crash or hang in any bench fails the gate outright; the speedup
   # comparison below only runs once every JSON block exists.
@@ -76,6 +76,10 @@ else
   # results byte-identical to the single-shard oracle) before timing.
   SLEDS_BENCH_JSON_DIR="${perf_json_dir}" timeout 600 \
     ./build-release/bench/bench_shard
+  # bench_openloop asserts wheel-vs-heap identity at the full million-client
+  # population before timing either scheduler.
+  SLEDS_BENCH_JSON_DIR="${perf_json_dir}" timeout 600 \
+    ./build-release/bench/bench_openloop
   if [[ "${SKIP_PERF_GATE:-}" == "1" ]]; then
     echo "==== perf-regression comparison skipped (SKIP_PERF_GATE=1) ===="
   elif command -v python3 >/dev/null 2>&1; then
@@ -100,6 +104,10 @@ else
     -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}" >/dev/null
   cmake --build build-asan -j
   (cd build-asan && ctest --output-on-failure -j)
+  echo "==== sanitizers: bench_openloop 10k-client smoke under ASan+UBSan ===="
+  SLEDS_OPENLOAD_CLIENTS=10000 SLEDS_OPENLOAD_SCENARIO_CLIENTS=1000 \
+    SLEDS_OPENLOAD_HORIZON=1 SLEDS_OPENLOAD_REPEATS=1 \
+    timeout 600 ./build-asan/bench/bench_openloop > /dev/null
 fi
 
 if [[ "${SKIP_TSAN:-}" == "1" ]]; then

@@ -15,6 +15,7 @@ Refresh the baselines after an intentional perf change:
         --benchmark_filter='BM_PageCacheTouchHit'
     SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_scale
     SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_shard
+    SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_openloop
     scripts/perf_gate.py --refresh /tmp/bj
 
 For bench_shard the gated `speedup` is parallel efficiency (raw speedup per
@@ -98,7 +99,7 @@ def refresh(json_dir, baselines_path):
         "baselines (lower is better, ceiling baseline * %.2f); refresh with "
         "--refresh-accuracy <json_dir>" % (TOLERANCE, ACCURACY_TOLERANCE)
     )
-    payload["benches"] = collect(json_dir, ["micro", "scale", "shard"])
+    payload["benches"] = collect(json_dir, ["micro", "scale", "shard", "openloop"])
     write_baselines(payload, baselines_path)
 
 

@@ -1,0 +1,67 @@
+// Open-loop arrival processes for the traffic engine (DESIGN.md §12).
+//
+// Each simulated client owns an independent arrival stream that is a pure
+// function of its seed: the next arrival time never depends on request
+// completion (that is what makes the load open-loop), on the shard the
+// world runs on, or on any other client. Per-client state is 24 bytes — a
+// splitmix64 counter stream plus the on/off phase words — because a million
+// clients cannot afford a std::mt19937_64 (~2.5 KB) each.
+//
+// Catalog (PAPERS.md: Boukhobza & Timsit's PC disk traces are bursty and
+// self-similar, not Poisson-smooth; Borge et al. show tails, not means,
+// expose the stalls):
+//   kPoisson  — memoryless exponential inter-arrivals at the configured rate.
+//   kBurst    — two-state on/off modulation (exponential state holding
+//               times); all arrivals happen inside ON phases at rate/duty,
+//               so the long-run mean rate matches kPoisson while arrivals
+//               clump into bursts.
+//   kDiurnal  — inhomogeneous Poisson with a sinusoidal rate curve (period =
+//               one simulated "day"), sampled by Lewis-Shedler thinning.
+//   kTrace    — arrival *times* are Poisson; the request byte ranges replay a
+//               recorded I/O trace (see ExtractReadOps in engine.h).
+#ifndef SLEDS_SRC_OPENLOAD_ARRIVAL_H_
+#define SLEDS_SRC_OPENLOAD_ARRIVAL_H_
+
+#include <cstdint>
+
+namespace sled {
+
+enum class ArrivalPattern { kPoisson, kBurst, kDiurnal, kTrace };
+
+const char* ArrivalPatternName(ArrivalPattern pattern);
+
+struct ArrivalParams {
+  ArrivalPattern pattern = ArrivalPattern::kPoisson;
+  // Long-run mean inter-arrival gap per client, in simulated nanoseconds.
+  double mean_gap_ns = 1e9;
+  // kBurst: fraction of time spent ON (arrivals happen only while ON, at
+  // mean_gap_ns * duty between arrivals) and the mean ON-phase length.
+  double burst_duty = 0.125;
+  double burst_on_ns = 250e6;
+  // kDiurnal: rate(t) = base * (1 + depth * sin(2*pi*t / period_ns)).
+  double diurnal_period_ns = 4e9;
+  double diurnal_depth = 0.8;
+};
+
+// Per-client stream state. Zero-initialized except the rng word, which must
+// be seeded (distinctly per client) before the first NextArrivalNs call.
+struct ArrivalState {
+  uint64_t rng = 0;
+  uint64_t phase_end_ns = 0;  // kBurst: end of the current on/off phase
+  uint32_t on = 0;            // kBurst: currently in the ON phase
+};
+
+// The client's next arrival time, given the previous one. Strictly advances
+// (gaps are clamped to >= 1 ns).
+uint64_t NextArrivalNs(const ArrivalParams& params, ArrivalState* state, uint64_t now_ns);
+
+// splitmix64: the engine's 8-byte-state PRNG step, shared with request
+// offset sampling. Advances *state and returns the next 64-bit draw.
+uint64_t OpenLoadRandom(uint64_t* state);
+
+// Uniform double in [0, 1) from one OpenLoadRandom draw.
+double OpenLoadUniform(uint64_t* state);
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_OPENLOAD_ARRIVAL_H_
