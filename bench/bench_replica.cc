@@ -1,0 +1,263 @@
+// Replication benchmark: two scenarios over a ReplicatedFs mount.
+//
+// 1. Rebuild storm — a 3-disk mount (replication_factor 2) loses one replica
+//    for a long window while the workload keeps writing and reading. Reads
+//    must keep succeeding (degraded routing), writes must keep committing
+//    (stale marks instead of failures), and after the window a single
+//    maintenance pass must re-sync every stale stripe. Reported numbers are
+//    simulated-time and stripe counts: fully deterministic.
+//
+// 2. Hedged reads — an SSD replica inside a GC window paired with a disk
+//    replica. Mean-ranked routing correctly keeps reading the SSD (the stall
+//    is rare, the mean stays far below the disk's), but the stalled 5% of
+//    reads dominate p99. With hedging on, a read that outlives the
+//    p99-derived deadline is re-issued on the disk runner-up and charged
+//    min(straggler, deadline + hedge) — per-read latency can never get
+//    worse, and the GC tail collapses to roughly deadline + disk time. The
+//    gated `speedup` is p99_off / p99_on (simulated time, deterministic).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/device/disk_device.h"
+#include "src/device/ssd_device.h"
+#include "src/device/fault.h"
+#include "src/kernel/sim_kernel.h"
+#include "src/replica/replicated_fs.h"
+
+namespace sled {
+namespace {
+
+struct World {
+  std::unique_ptr<SimKernel> kernel;
+  Process* proc = nullptr;
+  ReplicatedFs* fs = nullptr;
+};
+
+World MakeWorld(int num_disks, uint64_t seed_base, ReplicatedFsConfig rc) {
+  World w;
+  KernelConfig config;
+  config.cache.capacity_pages = 4096;
+  w.kernel = std::make_unique<SimKernel>(config);
+  std::vector<std::unique_ptr<StorageDevice>> devs;
+  for (int i = 0; i < num_disks; ++i) {
+    DiskDeviceConfig dc;
+    dc.seed = seed_base + static_cast<uint64_t>(i);
+    devs.push_back(std::make_unique<DiskDevice>(dc, "disk" + std::to_string(i)));
+  }
+  auto fs = std::make_unique<ReplicatedFs>("repl", std::move(devs), rc);
+  w.fs = fs.get();
+  SLED_CHECK(w.kernel->Mount("/", std::move(fs)).ok(), "mount failed");
+  w.proc = &w.kernel->CreateProcess("replbench");
+  return w;
+}
+
+void WriteFile(World& w, const std::string& path, int64_t size, char fill) {
+  const int fd = w.kernel->Create(*w.proc, path).value();
+  const std::string data(static_cast<size_t>(size), fill);
+  SLED_CHECK(w.kernel->Write(*w.proc, fd, std::span<const char>(data.data(), data.size())).ok(),
+             "write failed");
+  SLED_CHECK(w.kernel->Close(*w.proc, fd).ok(), "close failed");
+}
+
+int64_t ReadAll(World& w, const std::string& path) {
+  const int fd = w.kernel->Open(*w.proc, path).value();
+  std::vector<char> buf(64 * 1024);
+  int64_t total = 0;
+  for (;;) {
+    auto n = w.kernel->Read(*w.proc, fd, std::span<char>(buf.data(), buf.size()));
+    if (!n.ok() || n.value() == 0) {
+      break;
+    }
+    total += n.value();
+  }
+  SLED_CHECK(w.kernel->Close(*w.proc, fd).ok(), "close failed");
+  return total;
+}
+
+// ---- scenario 1: rebuild storm ----
+
+struct StormResult {
+  double outage_seconds = 0;    // simulated time spent working through the outage
+  double recovery_seconds = 0;  // simulated time of the post-outage re-sync pass
+  int64_t stale_stripes_peak = 0;
+  int64_t recovered_bytes = 0;
+  int64_t failed_writes = 0;
+  int64_t degraded_writes = 0;
+  int64_t read_bytes_during_outage = 0;
+  bool resynced = false;
+};
+
+StormResult RunRebuildStorm() {
+  constexpr int kFiles = 16;
+  constexpr int64_t kFileBytes = 32 * kPageSize;
+  ReplicatedFsConfig rc;
+  rc.stripe_pages = 8;
+  rc.replication_factor = 2;
+  rc.replication_min = 1;
+  World w = MakeWorld(3, 31, rc);
+
+  for (int i = 0; i < kFiles; ++i) {
+    WriteFile(w, "/f" + std::to_string(i), kFileBytes, 'a');
+  }
+  w.kernel->FlushAllDirty();
+  w.kernel->DropCaches();
+
+  // Replica 0 goes down for a long window; the workload does not stop.
+  auto plan = std::make_shared<FaultPlan>(FaultPlanConfig{});
+  plan->AttachClock(&w.kernel->clock());
+  const TimePoint outage_start = w.kernel->clock().Now();
+  plan->AddDownWindow(outage_start, outage_start + Seconds(600));
+  w.fs->replica(0).InjectFaults(plan);
+
+  StormResult r;
+  // Overwrite half the files: every stripe placed on replica 0 goes stale.
+  for (int i = 0; i < kFiles / 2; ++i) {
+    WriteFile(w, "/f" + std::to_string(i), kFileBytes, 'b');
+  }
+  w.kernel->FlushAllDirty();
+  // Read everything back through degraded routing.
+  for (int i = 0; i < kFiles; ++i) {
+    r.read_bytes_during_outage += ReadAll(w, "/f" + std::to_string(i));
+  }
+  r.outage_seconds = (w.kernel->clock().Now() - outage_start).ToSeconds();
+  r.stale_stripes_peak = w.fs->stale_stripes();
+  r.failed_writes = w.fs->rstats().failed_writes;
+  r.degraded_writes = w.fs->rstats().degraded_writes;
+
+  // Window ends; one maintenance pass rebuilds the stale replica.
+  w.kernel->clock().Advance(Seconds(700));
+  r.recovery_seconds = w.kernel->RunMaintenance().ToSeconds();
+  r.recovered_bytes = w.fs->rstats().recovered_bytes;
+  r.resynced = w.fs->stale_stripes() == 0;
+  return r;
+}
+
+// ---- scenario 2: hedged reads ----
+
+struct HedgeResult {
+  double p50_ms = 0;
+  double p99_ms = 0;
+  int64_t hedges = 0;
+  int64_t hedge_wins = 0;
+};
+
+HedgeResult RunHedgeSweep(bool hedge) {
+  constexpr int64_t kPages = 1024;
+  ReplicatedFsConfig rc;
+  rc.stripe_pages = 8;
+  rc.hedge_reads = hedge;
+  rc.hedge_deadline_factor = 0.25;
+  World w;
+  {
+    KernelConfig config;
+    config.cache.capacity_pages = 4096;
+    w.kernel = std::make_unique<SimKernel>(config);
+    std::vector<std::unique_ptr<StorageDevice>> devs;
+    devs.push_back(std::make_unique<SsdDevice>(SsdDeviceConfig{}, "ssd"));
+    devs.push_back(std::make_unique<DiskDevice>(DiskDeviceConfig{}, "disk"));
+    auto fs = std::make_unique<ReplicatedFs>("repl", std::move(devs), rc);
+    w.fs = fs.get();
+    SLED_CHECK(w.kernel->Mount("/", std::move(fs)).ok(), "mount failed");
+    w.proc = &w.kernel->CreateProcess("replbench");
+  }
+
+  WriteFile(w, "/data", kPages * kPageSize, 'x');
+  w.kernel->FlushAllDirty();
+  w.kernel->DropCaches();
+
+  // The SSD enters a GC window for the whole read phase: one read in twenty
+  // stalls 50 ms. The mean stays far below the disk's, so mean-ranked
+  // routing keeps every read on the SSD in both modes.
+  FaultPlanConfig fc;
+  fc.seed = 41;
+  auto plan = std::make_shared<FaultPlan>(fc);
+  plan->AttachClock(&w.kernel->clock());
+  plan->AddGcWindow(w.kernel->clock().Now(), w.kernel->clock().Now() + Seconds(3600),
+                    Milliseconds(50), 0.05);
+  w.fs->replica(0).InjectFaults(plan);
+
+  // One-page reads in a shuffled order. The shuffle seed is fixed and
+  // hedging never touches replica 0, so the two modes see identical
+  // straggler times per read.
+  std::vector<int64_t> order(kPages);
+  for (int64_t i = 0; i < kPages; ++i) order[static_cast<size_t>(i)] = i;
+  Rng rng(97);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(i)))]);
+  }
+
+  const int fd = w.kernel->Open(*w.proc, "/data").value();
+  std::vector<char> buf(kPageSize);
+  std::vector<double> lat;
+  lat.reserve(order.size());
+  for (const int64_t page : order) {
+    SLED_CHECK(w.kernel->Lseek(*w.proc, fd, page * kPageSize, Whence::kSet).ok(), "lseek failed");
+    const TimePoint t0 = w.kernel->clock().Now();
+    SLED_CHECK(w.kernel->Read(*w.proc, fd, std::span<char>(buf.data(), buf.size())).ok(),
+               "read failed");
+    lat.push_back((w.kernel->clock().Now() - t0).ToSeconds());
+  }
+  SLED_CHECK(w.kernel->Close(*w.proc, fd).ok(), "close failed");
+
+  std::sort(lat.begin(), lat.end());
+  HedgeResult r;
+  r.p50_ms = lat[lat.size() / 2] * 1e3;
+  r.p99_ms = lat[static_cast<size_t>(0.99 * static_cast<double>(lat.size() - 1))] * 1e3;
+  r.hedges = w.fs->rstats().hedges_issued;
+  r.hedge_wins = w.fs->rstats().hedge_wins;
+  return r;
+}
+
+int Main() {
+  const StormResult storm = RunRebuildStorm();
+  std::printf("# rebuild storm: 3 disks, factor 2, replica 0 down 600 s\n");
+  std::printf("  outage work: %.3f s, %lld bytes read degraded, %lld failed / %lld degraded "
+              "writes\n",
+              storm.outage_seconds, static_cast<long long>(storm.read_bytes_during_outage),
+              static_cast<long long>(storm.failed_writes),
+              static_cast<long long>(storm.degraded_writes));
+  std::printf("  recovery: %lld stale stripes, %lld bytes in %.3f s, resynced=%s\n",
+              static_cast<long long>(storm.stale_stripes_peak),
+              static_cast<long long>(storm.recovered_bytes), storm.recovery_seconds,
+              storm.resynced ? "yes" : "no");
+
+  const HedgeResult off = RunHedgeSweep(false);
+  const HedgeResult on = RunHedgeSweep(true);
+  const double speedup = on.p99_ms > 0 ? off.p99_ms / on.p99_ms : 0.0;
+  std::printf("# hedged reads: gc-windowed ssd + disk, 1024 shuffled 4 KiB reads, deadline 0.25 * p99\n");
+  std::printf("  off: p50 %.3f ms  p99 %.3f ms\n", off.p50_ms, off.p99_ms);
+  std::printf("  on:  p50 %.3f ms  p99 %.3f ms  (%lld hedges, %lld wins)  p99 speedup %.2fx\n",
+              on.p50_ms, on.p99_ms, static_cast<long long>(on.hedges),
+              static_cast<long long>(on.hedge_wins), speedup);
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"rebuild_storm\": {\"outage_seconds\": %.6f, \"recovery_seconds\": %.6f, "
+      "\"stale_stripes\": %lld, \"recovered_bytes\": %lld, \"failed_writes\": %lld, "
+      "\"degraded_writes\": %lld, \"resynced\": %s},\n"
+      "  \"hedge_p99\": {\"speedup\": %.6f, \"p99_off_ms\": %.6f, \"p99_on_ms\": %.6f, "
+      "\"hedges\": %lld, \"hedge_wins\": %lld}\n"
+      "}",
+      storm.outage_seconds, storm.recovery_seconds,
+      static_cast<long long>(storm.stale_stripes_peak),
+      static_cast<long long>(storm.recovered_bytes), static_cast<long long>(storm.failed_writes),
+      static_cast<long long>(storm.degraded_writes), storm.resynced ? "true" : "false", speedup,
+      off.p99_ms, on.p99_ms, static_cast<long long>(on.hedges),
+      static_cast<long long>(on.hedge_wins));
+  PrintBenchMetrics("replica", json);
+  return storm.resynced && speedup >= 1.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sled
+
+int main() { return sled::Main(); }

@@ -62,9 +62,9 @@ rm -rf "${acc_json_dir}"
 if [[ "${SKIP_PERF:-}" == "1" ]]; then
   echo "==== perf stage skipped (SKIP_PERF=1) ===="
 else
-  echo "==== perf gate: Release bench_micro + bench_scale + bench_shard + bench_openloop vs baselines ===="
+  echo "==== perf gate: Release bench_micro + bench_scale + bench_shard + bench_openloop + bench_replica vs baselines ===="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build build-release -j --target bench_micro bench_scale bench_shard bench_openloop
+  cmake --build build-release -j --target bench_micro bench_scale bench_shard bench_openloop bench_replica
   perf_json_dir="$(mktemp -d)"
   # Crash or hang in any bench fails the gate outright; the speedup
   # comparison below only runs once every JSON block exists.
@@ -80,6 +80,11 @@ else
   # population before timing either scheduler.
   SLEDS_BENCH_JSON_DIR="${perf_json_dir}" timeout 600 \
     ./build-release/bench/bench_openloop
+  # bench_replica exits nonzero unless the rebuild storm re-syncs fully and
+  # hedged p99 stays at or above the unhedged p99; its gated speedup is
+  # simulated time, so Release-vs-Debug makes no difference to the number.
+  SLEDS_BENCH_JSON_DIR="${perf_json_dir}" timeout 300 \
+    ./build-release/bench/bench_replica
   if [[ "${SKIP_PERF_GATE:-}" == "1" ]]; then
     echo "==== perf-regression comparison skipped (SKIP_PERF_GATE=1) ===="
   elif command -v python3 >/dev/null 2>&1; then
@@ -108,6 +113,10 @@ else
   SLEDS_OPENLOAD_CLIENTS=10000 SLEDS_OPENLOAD_SCENARIO_CLIENTS=1000 \
     SLEDS_OPENLOAD_HORIZON=1 SLEDS_OPENLOAD_REPEATS=1 \
     timeout 600 ./build-asan/bench/bench_openloop > /dev/null
+  echo "==== sanitizers: replica rebuild-storm + hedge smoke under ASan+UBSan ===="
+  # Drives the degraded write/read, stale-mark, recovery, and hedge paths —
+  # the code most likely to hide a lifetime bug behind a fault window.
+  timeout 600 ./build-asan/bench/bench_replica > /dev/null
 fi
 
 if [[ "${SKIP_TSAN:-}" == "1" ]]; then

@@ -16,6 +16,7 @@ Refresh the baselines after an intentional perf change:
     SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_scale
     SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_shard
     SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_openloop
+    SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_replica
     scripts/perf_gate.py --refresh /tmp/bj
 
 For bench_shard the gated `speedup` is parallel efficiency (raw speedup per
@@ -99,7 +100,7 @@ def refresh(json_dir, baselines_path):
         "baselines (lower is better, ceiling baseline * %.2f); refresh with "
         "--refresh-accuracy <json_dir>" % (TOLERANCE, ACCURACY_TOLERANCE)
     )
-    payload["benches"] = collect(json_dir, ["micro", "scale", "shard", "openloop"])
+    payload["benches"] = collect(json_dir, ["micro", "scale", "shard", "openloop", "replica"])
     write_baselines(payload, baselines_path)
 
 

@@ -59,6 +59,36 @@ struct DeviceCharacteristics {
   }
 };
 
+// A level's nominal characterization adjusted for its current health, the
+// arithmetic shared by kernel SLED construction and replica routing (both
+// must agree, or a router would pick a replica whose SLEDs say otherwise).
+// Slow windows scale the whole distribution; GC windows move the mean by
+// duty * stall while quantile p absorbs the entire stall whenever duty
+// exceeds 1 - p (tail risk lives in the tail). Unavailability is NOT folded
+// in here — callers decide between ballooning (SLEDs) and exclusion
+// (routing).
+struct HealthAdjustedLatency {
+  double mean_s = 0.0;
+  double bandwidth_bps = 0.0;
+  LatencyQuantiles q;
+};
+
+inline HealthAdjustedLatency AdjustForHealth(const DeviceCharacteristics& chars,
+                                             const DeviceHealth& health) {
+  HealthAdjustedLatency out;
+  out.mean_s = chars.latency.ToSeconds() * health.latency_factor;
+  out.bandwidth_bps = chars.bandwidth_bps / health.latency_factor;
+  out.q = chars.Quantiles().Scaled(health.latency_factor);
+  if (health.gc_duty > 0.0) {
+    const double stall = health.gc_stall_s;
+    out.mean_s += health.gc_duty * stall;
+    if (health.gc_duty > 0.50) out.q.p50 += stall;
+    if (health.gc_duty > 0.10) out.q.p90 += stall;
+    if (health.gc_duty > 0.01) out.q.p99 += stall;
+  }
+  return out;
+}
+
 // Running counters every device maintains.
 struct DeviceStats {
   int64_t reads = 0;

@@ -97,26 +97,24 @@ bool FaultPlan::InBadRange(int64_t offset, int64_t nbytes) const {
   return false;
 }
 
-const FaultPlan::Window* FaultPlan::ActiveWindow() const {
+bool FaultPlan::WindowActive(const Window& w) const {
   if (clock_ == nullptr) {
-    return nullptr;
+    return false;
   }
   const TimePoint now = clock_->Now();
-  for (const Window& w : windows_) {
-    if (!(now < w.start) && now < w.end) {
-      return &w;
-    }
-  }
-  return nullptr;
+  return !(now < w.start) && now < w.end;
 }
 
 Err FaultPlan::Judge(bool write, int64_t offset, int64_t nbytes) {
   // Down window: the whole device is unreachable; no media rolls happen.
+  // Any open down window counts, even when a slow/GC window overlaps it.
   // (Slow and GC windows distort time, not success — they judge kOk.)
-  if (const Window* w = ActiveWindow(); w != nullptr && w->kind == Window::Kind::kDown) {
-    ++stats_.unavailable_hits;
-    ++stats_.faults_injected;
-    return Err::kUnavailable;
+  for (const Window& w : windows_) {
+    if (w.kind == Window::Kind::kDown && WindowActive(w)) {
+      ++stats_.unavailable_hits;
+      ++stats_.faults_injected;
+      return Err::kUnavailable;
+    }
   }
   // Scripted failures escape unconditionally.
   int& forced = write ? forced_write_failures_ : forced_read_failures_;
@@ -156,15 +154,27 @@ Err FaultPlan::Judge(bool write, int64_t offset, int64_t nbytes) {
 }
 
 Duration FaultPlan::AdjustServiceTime(Duration t) {
-  if (const Window* w = ActiveWindow(); w != nullptr) {
-    if (w->kind == Window::Kind::kSlow && w->slow_factor > 1.0) {
-      t = SecondsF(t.ToSeconds() * w->slow_factor);
-    } else if (w->kind == Window::Kind::kGc && w->gc_duty > 0.0 &&
-               rng_.Bernoulli(w->gc_duty)) {
+  // All open windows apply together: the worst slow factor scales the
+  // service time once, and every open GC window rolls its own stall (stalls
+  // stack — two collectors can both catch the same op). A single open window
+  // behaves exactly as before.
+  double slow = 1.0;
+  Duration gc_stall;
+  for (const Window& w : windows_) {
+    if (!WindowActive(w)) {
+      continue;
+    }
+    if (w.kind == Window::Kind::kSlow && w.slow_factor > slow) {
+      slow = w.slow_factor;
+    } else if (w.kind == Window::Kind::kGc && w.gc_duty > 0.0 && rng_.Bernoulli(w.gc_duty)) {
       ++stats_.gc_stalls;
-      t += w->gc_stall;
+      gc_stall += w.gc_stall;
     }
   }
+  if (slow > 1.0) {
+    t = SecondsF(t.ToSeconds() * slow);
+  }
+  t += gc_stall;
   if (config_.spike_prob > 0.0 && rng_.Bernoulli(config_.spike_prob)) {
     ++stats_.spikes;
     t = SecondsF(t.ToSeconds() * config_.spike_factor);
@@ -173,20 +183,28 @@ Duration FaultPlan::AdjustServiceTime(Duration t) {
 }
 
 DeviceHealth FaultPlan::Health() const {
+  // Compose every open window, not just the first: a slow window overlapping
+  // a GC window must report both the slowdown and the tail risk, and a down
+  // window anywhere makes the device unavailable.
   DeviceHealth h;
-  if (const Window* w = ActiveWindow(); w != nullptr) {
-    switch (w->kind) {
+  for (const Window& w : windows_) {
+    if (!WindowActive(w)) {
+      continue;
+    }
+    DeviceHealth part;
+    switch (w.kind) {
       case Window::Kind::kDown:
-        h.unavailable = true;
+        part.unavailable = true;
         break;
       case Window::Kind::kSlow:
-        h.latency_factor = w->slow_factor;
+        part.latency_factor = w.slow_factor;
         break;
       case Window::Kind::kGc:
-        h.gc_stall_s = w->gc_stall.ToSeconds();
-        h.gc_duty = w->gc_duty;
+        part.gc_stall_s = w.gc_stall.ToSeconds();
+        part.gc_duty = w.gc_duty;
         break;
     }
+    h = CombineHealth(h, part);
   }
   return h;
 }

@@ -67,6 +67,22 @@ struct DeviceHealth {
   }
 };
 
+// Conservative composition of two health reports: unavailable if either is,
+// the worse slowdown, the worse GC stall, and the combined (sum-capped) GC
+// duty. Used wherever one SLED level summarizes several fault sources — a
+// plan with overlapping windows, a tape library, a replica set.
+inline DeviceHealth CombineHealth(const DeviceHealth& a, const DeviceHealth& b) {
+  DeviceHealth h;
+  h.unavailable = a.unavailable || b.unavailable;
+  h.latency_factor = a.latency_factor > b.latency_factor ? a.latency_factor : b.latency_factor;
+  h.gc_stall_s = a.gc_stall_s > b.gc_stall_s ? a.gc_stall_s : b.gc_stall_s;
+  h.gc_duty = a.gc_duty + b.gc_duty;
+  if (h.gc_duty > 1.0) {
+    h.gc_duty = 1.0;
+  }
+  return h;
+}
+
 struct FaultPlanConfig {
   uint64_t seed = 1;
   // Per-op probability that a read/write fails this attempt.
@@ -148,7 +164,9 @@ class FaultPlan {
   };
 
   bool InBadRange(int64_t offset, int64_t nbytes) const;
-  const Window* ActiveWindow() const;
+  // Is `w` open at the attached clock's current time? Always false without a
+  // clock (window checks are inert, per AttachClock).
+  bool WindowActive(const Window& w) const;
 
   FaultPlanConfig config_;
   Rng rng_;

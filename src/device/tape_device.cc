@@ -131,6 +131,14 @@ void Autochanger::AttachObserver(Observer* obs) {
   }
 }
 
+DeviceHealth Autochanger::Health() const {
+  DeviceHealth h;
+  for (const auto& tape : tapes_) {
+    h = CombineHealth(h, tape->Health());
+  }
+  return h;
+}
+
 bool Autochanger::IsMounted(int tape_index) const {
   return std::find(mounted_lru_.begin(), mounted_lru_.end(), tape_index) != mounted_lru_.end();
 }

@@ -101,9 +101,16 @@ class Autochanger {
   bool IsMounted(int tape_index) const;
   // Attach an observability sink to every tape in the library.
   void AttachObserver(Observer* obs);
+  // Library-wide health for SLED construction: the conservative composition
+  // (CombineHealth) over every tape. Per-level SLED granularity cannot name
+  // the tape a page sits on, so a window on any cartridge degrades the tape
+  // levels — the honest summary for a consumer deciding whether to recall.
+  DeviceHealth Health() const;
   int num_tapes() const { return static_cast<int>(tapes_.size()); }
   int num_drives() const { return num_drives_; }
   const TapeDevice& tape(int index) const { return *tapes_[index]; }
+  // Mutable access, for fault-plan injection (tests, experiments).
+  TapeDevice& tape(int index) { return *tapes_[index]; }
   int64_t exchanges() const { return exchanges_; }
 
  private:

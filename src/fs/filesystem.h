@@ -26,6 +26,7 @@
 #include "src/common/sim_time.h"
 #include "src/common/units.h"
 #include "src/device/device.h"
+#include "src/sleds/sled.h"  // RankBy (header-only, no library dependency)
 
 namespace sled {
 
@@ -108,6 +109,16 @@ class FileSystem {
   virtual int64_t LevelRunLen(InodeNum ino, int64_t page, int64_t max_pages) const;
   virtual std::vector<StorageLevelInfo> Levels() const = 0;
 
+  // Which storage level the kernel SLED scan should *advertise* for this
+  // page when the consumer ranks by `rank_by`. For single-copy file systems
+  // this is LevelOf — the page is where it is. File systems holding several
+  // equivalent copies (replication) override it to route: report the replica
+  // that minimizes the requested latency statistic, so a rank_by=p99 picker
+  // sees the tail-safe copy's estimate rather than the primary's.
+  virtual int RouteLevelOf(InodeNum ino, int64_t page, RankBy /*rank_by*/) const {
+    return LevelOf(ino, page);
+  }
+
   // Flat device byte address backing `page` of `ino`, or -1 when the file
   // system cannot map pages to a single flat address space (multi-level
   // stores, offline HSM data). The I/O engine's C-LOOK elevator sorts by
@@ -134,6 +145,12 @@ class FileSystem {
   // or disturbing device state — writeback-drain planning. Defaults to the
   // nominal characterization of the pages' current level.
   virtual Result<Duration> EstimateWritePages(InodeNum ino, int64_t first_page, int64_t count);
+
+  // Perform deferred background work — replica re-sync after an outage
+  // window, scrubbing, compaction. Driven by SimKernel::RunMaintenance();
+  // returns the device time consumed (charged to the clock, no process).
+  // Default: nothing to do.
+  virtual Result<Duration> BackgroundMaintenance() { return Duration(); }
 
   // Attach the kernel's observability sink. Concrete file systems forward
   // the observer to their storage devices; pure instrumentation, no effect

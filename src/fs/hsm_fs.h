@@ -65,10 +65,18 @@ class HsmFs final : public FileSystem {
   // address (-1), so the I/O engine's elevator degrades to FIFO for recalls.
   int64_t DeviceAddressOf(InodeNum ino, int64_t page) const override;
   StorageDevice* PrimaryDevice() override { return staging_device_.get(); }
-  // Staging-disk health covers the disk level; the tape levels follow the
-  // library, which carries no fault plan in this model (always healthy).
+  // Staging-disk health covers the disk level; both tape levels follow the
+  // library's composed health, so a down or slow window on any cartridge
+  // inflates (or prunes) the tape-level SLEDs instead of being silently
+  // reported healthy.
   DeviceHealth LevelHealth(int local_level) const override {
-    return local_level == kLevelDisk ? staging_device_->Health() : DeviceHealth{};
+    if (local_level == kLevelDisk) {
+      return staging_device_->Health();
+    }
+    if (local_level == kLevelTapeNear || local_level == kLevelTapeFar) {
+      return changer_.Health();
+    }
+    return DeviceHealth{};
   }
   Result<Duration> EstimateWritePages(InodeNum ino, int64_t first_page, int64_t count) override;
 

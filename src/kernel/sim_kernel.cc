@@ -985,7 +985,7 @@ Result<void> SimKernel::IoctlSledsFill(Process& p, int level, DeviceCharacterist
 // identical to a page-at-a-time scan (segments merge on equal level; a
 // segment's byte length is min(end_page * kPageSize, size) - start byte).
 Result<SledVector> SimKernel::BuildSleds(Process& p, const OpenFile& of, int64_t first_page,
-                                         int64_t end_page, int64_t size) {
+                                         int64_t end_page, int64_t size, RankBy route_rank) {
   FileSystem* fs = FsOf(of);
   const int64_t npages = end_page - first_page;
   ChargeCpu(p, config_.costs.sled_scan_per_page * npages);
@@ -1018,25 +1018,17 @@ Result<SledVector> SimKernel::BuildSleds(Process& p, const OpenFile& of, int64_t
       s.bandwidth = row.chars.bandwidth_bps;
       s.latency_p50 = s.latency_p90 = s.latency_p99 = s.latency;
     } else {
-      // Slow window: the level answers, just late — scale the estimate (the
-      // whole distribution shifts together).
-      s.latency = row.chars.latency.ToSeconds() * health.latency_factor;
-      s.bandwidth = row.chars.bandwidth_bps / health.latency_factor;
-      LatencyQuantiles q = row.chars.Quantiles().Scaled(health.latency_factor);
-      // GC window: a duty-fraction of ops eat a fixed stall. The *mean* moves
-      // by duty * stall, but quantile p absorbs the whole stall whenever duty
-      // exceeds 1 - p — tail risk lives in the tail, which is exactly what a
-      // scalar SLED cannot say.
-      if (health.gc_duty > 0.0) {
-        const double stall = health.gc_stall_s;
-        s.latency += health.gc_duty * stall;
-        if (health.gc_duty > 0.50) q.p50 += stall;
-        if (health.gc_duty > 0.10) q.p90 += stall;
-        if (health.gc_duty > 0.01) q.p99 += stall;
-      }
-      s.latency_p50 = q.p50;
-      s.latency_p90 = q.p90;
-      s.latency_p99 = q.p99;
+      // Slow window: the level answers, just late — the whole distribution
+      // scales together. GC window: the mean moves by duty * stall while
+      // quantile p absorbs the whole stall when duty exceeds 1 - p. The
+      // arithmetic lives in AdjustForHealth so replica routers agree with
+      // the SLEDs they advertise.
+      const HealthAdjustedLatency adj = AdjustForHealth(row.chars, health);
+      s.latency = adj.mean_s;
+      s.bandwidth = adj.bandwidth_bps;
+      s.latency_p50 = adj.q.p50;
+      s.latency_p90 = adj.q.p90;
+      s.latency_p99 = adj.q.p99;
     }
     sleds.push_back(s);
   };
@@ -1054,7 +1046,7 @@ Result<SledVector> SimKernel::BuildSleds(Process& p, const OpenFile& of, int64_t
     // walk it a level-run at a time.
     const int64_t miss_end = run.has_value() ? std::min(run->first, end_page) : end_page;
     while (page < miss_end) {
-      const int local = fs->LevelOf(of.ino, page);
+      const int local = fs->RouteLevelOf(of.ino, page, route_rank);
       int global = -1;
       if (local >= 0 && static_cast<size_t>(local) < global_of_local.size()) {
         global = global_of_local[static_cast<size_t>(local)];
@@ -1086,15 +1078,16 @@ Result<SledVector> SimKernel::BuildSleds(Process& p, const OpenFile& of, int64_t
   return sleds;
 }
 
-Result<SledVector> SimKernel::IoctlSledsGet(Process& p, int fd) {
+Result<SledVector> SimKernel::IoctlSledsGet(Process& p, int fd, RankBy route_rank) {
   SyscallScope sys(*this, p, "ioctl_sleds_get");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   FileSystem* fs = FsOf(*of);
   const int64_t size = fs->SizeOf(of->ino);
-  return BuildSleds(p, *of, 0, PagesFor(size), size);
+  return BuildSleds(p, *of, 0, PagesFor(size), size, route_rank);
 }
 
-Result<SledVector> SimKernel::IoctlSledsGet(Process& p, int fd, int64_t offset, int64_t length) {
+Result<SledVector> SimKernel::IoctlSledsGet(Process& p, int fd, int64_t offset, int64_t length,
+                                            RankBy route_rank) {
   SyscallScope sys(*this, p, "ioctl_sleds_get");
   SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
   if (offset < 0 || length < 0) {
@@ -1106,7 +1099,7 @@ Result<SledVector> SimKernel::IoctlSledsGet(Process& p, int fd, int64_t offset, 
   const int64_t first = std::min(offset / kPageSize, npages);
   const int64_t end =
       length == 0 ? first : std::min((offset + length - 1) / kPageSize + 1, npages);
-  return BuildSleds(p, *of, first, std::max(first, end), size);
+  return BuildSleds(p, *of, first, std::max(first, end), size, route_rank);
 }
 
 Result<int64_t> SimKernel::IoctlSledsLock(Process& p, int fd, int64_t offset, int64_t length) {
@@ -1234,6 +1227,22 @@ Duration SimKernel::FlushAllDirty() {
       total += queued.value();
     }
   }
+  return total;
+}
+
+Duration SimKernel::RunMaintenance() {
+  Duration total;
+  for (const auto& [path, fs_id] : vfs_.Mounts()) {
+    FileSystem* fs = vfs_.FsById(fs_id);
+    if (fs == nullptr) {
+      continue;
+    }
+    auto t = fs->BackgroundMaintenance();
+    if (t.ok()) {
+      total += t.value();
+    }
+  }
+  clock_.Advance(total);
   return total;
 }
 

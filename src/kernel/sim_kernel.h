@@ -159,12 +159,16 @@ class SimKernel {
   // runs, so its wall-clock cost is O(runs); the *simulated* CPU charge stays
   // sled_scan_per_page * pages scanned, exactly as the paper's per-page VFS
   // scan pays.
-  Result<SledVector> IoctlSledsGet(Process& p, int fd);
+  // `route_rank` is forwarded to FileSystem::RouteLevelOf so replicated
+  // stores advertise the copy that minimizes the caller's ranking statistic;
+  // the default (kMean) leaves every single-copy file system untouched.
+  Result<SledVector> IoctlSledsGet(Process& p, int fd, RankBy route_rank = RankBy::kMean);
   // Ranged FSLEDS_GET: scan only the pages overlapping [offset,
   // offset+length). Charges sled_scan_per_page per page actually scanned —
   // this is what lets SledsPicker::Refresh() re-fetch just the not-yet-
   // consumed part of its plan instead of re-paying for the whole file.
-  Result<SledVector> IoctlSledsGet(Process& p, int fd, int64_t offset, int64_t length);
+  Result<SledVector> IoctlSledsGet(Process& p, int fd, int64_t offset, int64_t length,
+                                   RankBy route_rank = RankBy::kMean);
   // FSLEDS_LOCK / FSLEDS_UNLOCK (paper §3.4's proposed lock/reservation
   // mechanism): pin the *currently resident* pages of [offset,
   // offset+length) so eviction cannot invalidate the low-latency SLEDs an
@@ -213,6 +217,10 @@ class SimKernel {
   // Flush all dirty state; returns device time spent (charged to the clock
   // but no process).
   Duration FlushAllDirty();
+  // Give every mounted file system one pass of deferred background work
+  // (replica re-sync after an outage window). Device time advances the clock
+  // but is charged to no process, like a background flush.
+  Duration RunMaintenance();
 
  private:
   // RAII syscall bracket: counts the call, charges entry overhead, and
@@ -267,7 +275,7 @@ class SimKernel {
   // Shared FSLEDS_GET body: charge the scan, build the SLED vector for pages
   // [first_page, end_page) of the file, and record the scan event.
   Result<SledVector> BuildSleds(Process& p, const OpenFile& of, int64_t first_page,
-                                int64_t end_page, int64_t size);
+                                int64_t end_page, int64_t size, RankBy route_rank);
 
   // One store transfer with the kernel's immediate-retry policy: re-issues on
   // kIo up to fault.max_io_retries times (each failed attempt is fail-fast at

@@ -293,6 +293,55 @@ void Observer::WritebackError(uint64_t file, int64_t first_page, int64_t pages, 
   trace_.Push(std::move(e));
 }
 
+void Observer::ReplicaDegradedRead(std::string_view fs, int replica, int64_t bytes) {
+  metrics_.Add("replica.degraded_reads");
+  metrics_.Add("replica.degraded_bytes", bytes);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kReplicaDegraded;
+  e.level = replica;  // repurposed: replica index that served the read
+  e.b = bytes;
+  e.tag = std::string(fs);
+  trace_.Push(std::move(e));
+}
+
+void Observer::ReplicaStale(std::string_view fs, int replica, int64_t bytes) {
+  metrics_.Add("replica.stale_marks");
+  metrics_.Add("replica.stale_bytes", bytes);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kReplicaStale;
+  e.level = replica;  // repurposed: replica index left stale
+  e.b = bytes;
+  e.tag = std::string(fs);
+  trace_.Push(std::move(e));
+}
+
+void Observer::ReplicaRecovery(std::string_view fs, int replica, int64_t bytes) {
+  metrics_.Add("replica.recovery_runs");
+  metrics_.Add("replica.recovery_bytes", bytes);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kReplicaRecovery;
+  e.level = replica;  // repurposed: replica index re-synced
+  e.b = bytes;
+  e.tag = std::string(fs);
+  trace_.Push(std::move(e));
+}
+
+void Observer::ReplicaHedge(std::string_view fs, bool win) {
+  metrics_.Add("replica.hedges");
+  if (win) {
+    metrics_.Add("replica.hedge_wins");
+  }
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kReplicaHedge;
+  e.level = win ? 1 : 0;  // repurposed: 1 = the hedge won
+  e.tag = std::string(fs);
+  trace_.Push(std::move(e));
+}
+
 std::string Observer::MetricsJson() const {
   std::string out = metrics_.ToJson();
   SLED_CHECK(!out.empty() && out.back() == '}', "malformed metrics json");

@@ -81,6 +81,18 @@ class Observer {
   // attempt cap, counted lost).
   void WritebackError(uint64_t file, int64_t first_page, int64_t pages, bool lost);
 
+  // ---- replication hooks (fire only on a replicated mount) ----
+  // A read run failed over to `replica` after better-ranked copies were
+  // skipped (stale) or errored.
+  void ReplicaDegradedRead(std::string_view fs, int replica, int64_t bytes);
+  // A replica write failed: `bytes` on `replica` are stale pending re-sync.
+  void ReplicaStale(std::string_view fs, int replica, int64_t bytes);
+  // Background recovery re-synced `bytes` onto `replica`.
+  void ReplicaRecovery(std::string_view fs, int replica, int64_t bytes);
+  // A hedged read was issued to the second-ranked replica; `win` = the hedge
+  // beat the straggling primary to the deadline-adjusted finish.
+  void ReplicaHedge(std::string_view fs, bool win);
+
   // Combined export: the metric registry plus a trace summary block.
   std::string MetricsJson() const;
 

@@ -38,6 +38,14 @@ std::string_view TraceKindName(TraceKind kind) {
       return "io_retry";
     case TraceKind::kWritebackError:
       return "writeback_error";
+    case TraceKind::kReplicaDegraded:
+      return "replica_degraded";
+    case TraceKind::kReplicaStale:
+      return "replica_stale";
+    case TraceKind::kReplicaRecovery:
+      return "replica_recovery";
+    case TraceKind::kReplicaHedge:
+      return "replica_hedge";
   }
   return "unknown";
 }

@@ -37,6 +37,10 @@ enum class TraceKind : uint8_t {
   kDeviceError,
   kIoRetry,
   kWritebackError,
+  kReplicaDegraded,
+  kReplicaStale,
+  kReplicaRecovery,
+  kReplicaHedge,
 };
 
 std::string_view TraceKindName(TraceKind kind);

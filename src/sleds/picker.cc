@@ -27,7 +27,8 @@ SledsPicker::SledsPicker(SimKernel& kernel, Process& process, int fd, PickerOpti
     : kernel_(kernel), process_(process), fd_(fd), options_(options) {}
 
 void SledsPicker::PruneUnavailable(SledVector& sleds) {
-  pruned_bytes_ = 0;
+  // Accumulates into pruned_bytes_ across refreshes; only a full plan
+  // rebuild (BuildPlan) resets the counter, as the header documents.
   if (!options_.prune_unavailable) {
     return;
   }
@@ -62,7 +63,10 @@ Result<std::unique_ptr<SledsPicker>> SledsPicker::Create(SimKernel& kernel, Proc
 Result<SledVector> SledsPicker::FetchSleds(
     const std::vector<std::pair<int64_t, int64_t>>& ranges) {
   if (ranges.empty()) {
-    return kernel_.IoctlSledsGet(process_, fd_);
+    // Forward rank_by as the route rank: a replicated store then advertises,
+    // for each section, the copy that minimizes the statistic this plan is
+    // ordered by (rank_by-aware replica routing).
+    return kernel_.IoctlSledsGet(process_, fd_, options_.rank_by);
   }
   // Merge the requested ranges into disjoint intervals and issue one ranged
   // FSLEDS_GET per interval. The kernel charges per page actually scanned, so
@@ -81,7 +85,8 @@ Result<SledVector> SledsPicker::FetchSleds(
   merged.resize(tail + 1);
   SledVector all;
   for (const auto& [lo, hi] : merged) {
-    SLED_ASSIGN_OR_RETURN(SledVector part, kernel_.IoctlSledsGet(process_, fd_, lo, hi - lo));
+    SLED_ASSIGN_OR_RETURN(SledVector part,
+                          kernel_.IoctlSledsGet(process_, fd_, lo, hi - lo, options_.rank_by));
     // The ranged get returns whole pages; trim the page overhang so each
     // SLED stays inside its own interval (intervals are disjoint, so a SLED
     // can then only match this interval's ranges below).
@@ -115,6 +120,7 @@ Result<SledVector> SledsPicker::FetchSleds(
 }
 
 Result<void> SledsPicker::BuildPlan() {
+  pruned_bytes_ = 0;
   SLED_ASSIGN_OR_RETURN(SledVector sleds, FetchSleds({}));
   if (options_.record_oriented) {
     SLED_RETURN_IF_ERROR(AdjustToRecordBoundaries(sleds));

@@ -87,8 +87,11 @@ class SledsPicker {
   int64_t remaining_bytes() const;
   bool done() const { return remaining_bytes() == 0; }
 
-  // Bytes dropped from the current plan because their level was unreachable
-  // (prune_unavailable mode); recomputed on every plan build/refresh.
+  // Bytes dropped from the plan because their level was unreachable
+  // (prune_unavailable mode). Accumulates across refreshes over the picker's
+  // lifetime — a section pruned from the original plan stays counted after
+  // later Refresh() calls — and resets only when the plan is rebuilt from
+  // scratch (BuildPlan).
   int64_t pruned_bytes() const { return pruned_bytes_; }
 
   // The (possibly record-adjusted) SLEDs driving the plan, in pick order.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
@@ -18,6 +19,7 @@
 #include "src/fs/hsm_fs.h"
 #include "src/fs/remote_fs.h"
 #include "src/fs/tiered_fs.h"
+#include "src/replica/replicated_fs.h"
 #include "src/sleds/delivery.h"
 #include "src/workload/fits_gen.h"
 #include "src/workload/text_gen.h"
@@ -48,7 +50,7 @@ std::string Format(const char* fmt, ...) {
 
 constexpr char kHelp[] =
     "commands:\n"
-    "  mount <ext2|zoned|cdrom|nfs|hsm|remote> <path>\n"
+    "  mount <ext2|zoned|cdrom|nfs|ssd|tiered|hsm|remote|replicated> <path>\n"
     "  genfile <path> <MB> | genfits <path> <MB>\n"
     "  mkdir|rm|ls|stat <path>\n"
     "  cat <path>\n"
@@ -58,7 +60,7 @@ constexpr char kHelp[] =
     "  sleds <path> | delivery <path>\n"
     "  lock <path> | unlock <path>\n"
     "  migrate <path> | recall <path> | seal <path>\n"
-    "  dropcaches | flush | stats | clock | help\n"
+    "  dropcaches | flush | recover | stats | clock | help\n"
     "  trace [n]   (last n kernel trace events as CSV, default 20)\n"
     "  iostat      (per-storage-level I/O metrics)\n";
 
@@ -166,6 +168,11 @@ std::string SledShell::Execute(const std::string& line) {
     const Duration t = kernel_->FlushAllDirty();
     return Format("flushed in %s\n", t.ToString().c_str());
   }
+  if (cmd == "recover") {
+    // One pass of deferred background work: replica re-sync after an outage.
+    const Duration t = kernel_->RunMaintenance();
+    return Format("maintenance in %s\n", t.ToString().c_str());
+  }
   if (cmd == "stats") {
     return CmdStats();
   }
@@ -183,7 +190,7 @@ std::string SledShell::Execute(const std::string& line) {
 
 std::string SledShell::CmdMount(const std::vector<std::string>& args) {
   if (args.size() != 2) {
-    return "usage: mount <ext2|zoned|cdrom|nfs|ssd|tiered|hsm|remote> <path>\n";
+    return "usage: mount <ext2|zoned|cdrom|nfs|ssd|tiered|hsm|remote|replicated> <path>\n";
   }
   std::unique_ptr<FileSystem> fs;
   const uint64_t seed = rng_.Uniform(1, 1 << 30);
@@ -225,6 +232,23 @@ std::string SledShell::CmdMount(const std::vector<std::string>& args) {
     RemoteFsConfig rc;
     rc.seed = seed;
     fs = std::make_unique<RemoteFs>("remote", rc);
+  } else if (args[0] == "replicated") {
+    // Three-way replication over heterogeneous media: local disk, local SSD,
+    // and an NFS-class network store. $SLEDS_HEDGE_P99=1 enables hedged reads.
+    DiskDeviceConfig dc;
+    dc.seed = seed;
+    SsdDeviceConfig sc;
+    sc.seed = seed + 1;
+    NetworkDeviceConfig nc;
+    nc.seed = seed + 2;
+    std::vector<std::unique_ptr<StorageDevice>> replicas;
+    replicas.push_back(std::make_unique<DiskDevice>(dc));
+    replicas.push_back(std::make_unique<SsdDevice>(sc));
+    replicas.push_back(std::make_unique<NetworkDevice>(nc));
+    ReplicatedFsConfig rc;
+    const char* hedge = std::getenv("SLEDS_HEDGE_P99");
+    rc.hedge_reads = hedge != nullptr && atoi(hedge) != 0;
+    fs = std::make_unique<ReplicatedFs>("replicated", std::move(replicas), rc);
   } else {
     return "error: unknown fs kind '" + args[0] + "'\n";
   }

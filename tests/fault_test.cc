@@ -16,7 +16,9 @@
 #include "src/device/disk_device.h"
 #include "src/device/fault.h"
 #include "src/fs/extent_file_system.h"
+#include "src/fs/hsm_fs.h"
 #include "src/fs/remote_fs.h"
+#include "src/fs/tiered_fs.h"
 #include "src/kernel/sim_kernel.h"
 #include "src/sleds/picker.h"
 
@@ -361,6 +363,161 @@ TEST(FaultSledsTest, PickerPrunesUnavailableSectionsOnRefresh) {
   EXPECT_EQ(p2.length, 0);
   EXPECT_TRUE(picker->done());
   EXPECT_EQ(picker->pruned_bytes(), (file_pages - 16) * kPageSize);
+}
+
+TEST(FaultPlanTest, OverlappingWindowsComposeInHealthAndJudge) {
+  SimClock clock;
+  FaultPlan plan(FaultPlanConfig{});
+  plan.AttachClock(&clock);
+  const TimePoint t0 = clock.Now();
+  plan.AddSlowWindow(t0, t0 + Seconds(100), 3.0);
+  plan.AddGcWindow(t0, t0 + Seconds(100), Milliseconds(20), 0.3);
+  plan.AddGcWindow(t0, t0 + Seconds(100), Milliseconds(10), 0.9);
+
+  // All open windows report together: the worst slowdown, the worst stall,
+  // the sum-capped duty.
+  DeviceHealth h = plan.Health();
+  EXPECT_FALSE(h.unavailable);
+  EXPECT_DOUBLE_EQ(h.latency_factor, 3.0);
+  EXPECT_DOUBLE_EQ(h.gc_stall_s, 0.020);
+  EXPECT_DOUBLE_EQ(h.gc_duty, 1.0);  // 0.3 + 0.9, capped
+
+  // A down window opening while the slow window is active must surface in
+  // Health *and* reject ops in Judge, even though it is not the first active
+  // window in registration order.
+  plan.AddDownWindow(t0, t0 + Seconds(50));
+  h = plan.Health();
+  EXPECT_TRUE(h.unavailable);
+  EXPECT_DOUBLE_EQ(h.latency_factor, 3.0);
+  EXPECT_EQ(plan.Judge(false, 0, kPageSize), Err::kUnavailable);
+
+  // Past the down window, the slow + GC composite remains.
+  clock.Advance(Seconds(60));
+  h = plan.Health();
+  EXPECT_FALSE(h.unavailable);
+  EXPECT_DOUBLE_EQ(h.latency_factor, 3.0);
+  EXPECT_DOUBLE_EQ(h.gc_duty, 1.0);
+  EXPECT_EQ(plan.Judge(false, 0, kPageSize), Err::kOk);
+}
+
+TEST(FaultSledsTest, TapeWindowsInflateTapeLevelSleds) {
+  // A fault window on a tape cartridge must flow through HsmFs::LevelHealth
+  // into the tape-level SLEDs (it used to be dropped: the tape levels always
+  // reported healthy).
+  KernelConfig config;
+  config.cache.capacity_pages = 1024;
+  SimKernel kernel(config);
+  HsmFsConfig hc;
+  hc.num_tapes = 2;
+  auto fs_owned = std::make_unique<HsmFs>("hsm", hc);
+  HsmFs* fs = fs_owned.get();
+  ASSERT_TRUE(kernel.Mount("/", std::move(fs_owned)).ok());
+  Process& proc = kernel.CreateProcess("test");
+
+  const int64_t file_bytes = 64 * kPageSize;
+  {
+    const int fd = kernel.Create(proc, "/f").value();
+    const std::string data(static_cast<size_t>(file_bytes), 't');
+    ASSERT_TRUE(kernel.Write(proc, fd, std::span<const char>(data.data(), data.size())).ok());
+    ASSERT_TRUE(kernel.Close(proc, fd).ok());
+  }
+  kernel.FlushAllDirty();
+  const InodeNum ino = kernel.Stat(proc, "/f").value().ino;
+  ASSERT_TRUE(fs->Migrate(ino).ok());  // only copy now lives on tape
+  kernel.DropCaches();
+
+  const int fd = kernel.Open(proc, "/f").value();
+  const SledVector baseline = kernel.IoctlSledsGet(proc, fd).value();
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_FALSE(baseline.front().unavailable);
+
+  // Slow window on the cartridge holding the file: the tape-level estimate
+  // must inflate by the window's factor.
+  auto plan = std::make_shared<FaultPlan>(FaultPlanConfig{});
+  fs->changer().tape(fs->TapeOf(ino)).InjectFaults(plan);
+  plan->AttachClock(&kernel.clock());
+  const TimePoint now = kernel.clock().Now();
+  plan->AddSlowWindow(now, now + Seconds(100), 4.0);
+  const SledVector slow = kernel.IoctlSledsGet(proc, fd).value();
+  ASSERT_EQ(slow.size(), baseline.size());
+  EXPECT_DOUBLE_EQ(slow.front().latency, 4.0 * baseline.front().latency);
+  EXPECT_FALSE(slow.front().unavailable);
+
+  // Down window: the tape level must go unavailable with ballooned latency.
+  plan->AddDownWindow(now, now + Seconds(100));
+  const SledVector down = kernel.IoctlSledsGet(proc, fd).value();
+  EXPECT_TRUE(down.front().unavailable);
+  EXPECT_EQ(down.front().latency, kernel.config().fault.unavailable_latency_s);
+
+  // Both windows closed: healthy estimates return.
+  kernel.clock().Advance(Seconds(200));
+  const SledVector healed = kernel.IoctlSledsGet(proc, fd).value();
+  EXPECT_FALSE(healed.front().unavailable);
+  EXPECT_DOUBLE_EQ(healed.front().latency, baseline.front().latency);
+}
+
+TEST(FaultSledsTest, PickerPrunedBytesAccumulateAcrossRefreshes) {
+  // Two tiers striped into one file; each tier goes down in turn. The bytes
+  // pruned on the first refresh must still be counted after the second —
+  // pruned_bytes accumulates over the picker's lifetime and resets only on a
+  // full plan build.
+  KernelConfig config;
+  config.cache.capacity_pages = 1024;
+  SimKernel kernel(config);
+  TieredFsConfig tc;
+  tc.stripe_pages = 8;
+  DiskDeviceConfig dc0;
+  dc0.seed = 11;
+  DiskDeviceConfig dc1;
+  dc1.seed = 12;
+  auto fs_owned = std::make_unique<TieredFs>("tiered", std::make_unique<DiskDevice>(dc0, "t0"),
+                                             std::make_unique<DiskDevice>(dc1, "t1"), tc);
+  TieredFs* fs = fs_owned.get();
+  ASSERT_TRUE(kernel.Mount("/", std::move(fs_owned)).ok());
+  Process& proc = kernel.CreateProcess("test");
+
+  const int64_t file_pages = 64;  // 8 stripes: even on tier 0, odd on tier 1
+  {
+    const int fd = kernel.Create(proc, "/f").value();
+    const std::string data(static_cast<size_t>(file_pages * kPageSize), 's');
+    ASSERT_TRUE(kernel.Write(proc, fd, std::span<const char>(data.data(), data.size())).ok());
+    ASSERT_TRUE(kernel.Close(proc, fd).ok());
+  }
+  kernel.FlushAllDirty();
+  kernel.DropCaches();
+
+  const int fd = kernel.Open(proc, "/f").value();
+  PickerOptions opts;
+  opts.preferred_chunk_bytes = tc.stripe_pages * kPageSize;
+  opts.refresh_every_n_picks = 1;
+  opts.prune_unavailable = true;
+  auto picker = SledsPicker::Create(kernel, proc, fd, opts).value();
+  EXPECT_EQ(picker->pruned_bytes(), 0);
+
+  auto down = [&](int tier) {
+    auto plan = std::make_shared<FaultPlan>(FaultPlanConfig{});
+    fs->tier(tier).InjectFaults(plan);
+    plan->AttachClock(&kernel.clock());
+    plan->AddDownWindow(kernel.clock().Now(), kernel.clock().Now() + Seconds(3600));
+  };
+
+  // Pick 1 (no refresh yet): stripe 0, on tier 0. Then tier 0 goes down.
+  const auto p1 = picker->NextRead().value();
+  EXPECT_EQ(p1.offset, 0);
+  down(0);
+  // Pick 2 refreshes: the remaining tier-0 stripes (2, 4, 6) are pruned.
+  const auto p2 = picker->NextRead().value();
+  EXPECT_EQ(p2.offset, tc.stripe_pages * kPageSize);  // stripe 1, tier 1
+  const int64_t pruned_after_first = picker->pruned_bytes();
+  EXPECT_EQ(pruned_after_first, 3 * tc.stripe_pages * kPageSize);
+  // Tier 1 goes down too; pick 3 refreshes, prunes the rest, and finishes.
+  down(1);
+  const auto p3 = picker->NextRead().value();
+  EXPECT_EQ(p3.length, 0);
+  EXPECT_TRUE(picker->done());
+  // Cumulative: stripes 2, 4, 6 (tier 0) + 3, 5, 7 (tier 1); the regression
+  // was forgetting the first refresh's bytes here.
+  EXPECT_EQ(picker->pruned_bytes(), pruned_after_first + 3 * tc.stripe_pages * kPageSize);
 }
 
 }  // namespace

@@ -298,6 +298,67 @@ TEST(TieredFsTest, ReadWriteRoundTripChargesBothDevices) {
   EXPECT_GT(w.fs->tier(1).stats().bytes_read, 0);
 }
 
+TEST(TieredFsTest, ShrinkToNonzeroKeepsRegionsAcrossRegrow) {
+  TieredWorld w = MakeTieredWorld();
+  const int fd = w.kernel->Create(*w.proc, "/f").value();
+  const TieredFsConfig config;
+  const int64_t size = 2 * config.stripe_pages * kPageSize;
+  const std::string data(static_cast<size_t>(size), 'z');
+  ASSERT_TRUE(w.kernel->Write(*w.proc, fd, std::span<const char>(data.data(), data.size())).ok());
+  w.kernel->FlushAllDirty();
+
+  // Shrink to a nonzero size: the regions are kept (bump allocator), so
+  // regrowing back within the original span must not allocate anything new —
+  // the rewritten tail lands on the same device addresses and round-trips.
+  ASSERT_TRUE(w.kernel->Ftruncate(*w.proc, fd, config.stripe_pages * kPageSize / 2).ok());
+  ASSERT_TRUE(w.kernel->Lseek(*w.proc, fd, config.stripe_pages * kPageSize / 2, Whence::kSet).ok());
+  const std::string tail(static_cast<size_t>(size - config.stripe_pages * kPageSize / 2), 'w');
+  ASSERT_TRUE(
+      w.kernel->Write(*w.proc, fd, std::span<const char>(tail.data(), tail.size())).ok());
+  w.kernel->FlushAllDirty();
+  w.kernel->DropCaches();
+
+  ASSERT_TRUE(w.kernel->Lseek(*w.proc, fd, 0, Whence::kSet).ok());
+  std::vector<char> buf(static_cast<size_t>(size));
+  ASSERT_EQ(w.kernel->Read(*w.proc, fd, std::span<char>(buf.data(), buf.size())).value(), size);
+  EXPECT_TRUE(std::all_of(buf.begin(), buf.begin() + config.stripe_pages * kPageSize / 2,
+                          [](char c) { return c == 'z'; }));
+  EXPECT_TRUE(std::all_of(buf.begin() + config.stripe_pages * kPageSize / 2, buf.end(),
+                          [](char c) { return c == 'w'; }));
+}
+
+TEST(TieredFsTest, GrowPastOneTierFailsNoSpcWithoutCorruptingAllocator) {
+  // Tier 0 can hold 41 pages past its metadata page; tier 1 is huge. A grow
+  // that does not fit tier 0 must fail kNoSpc *before* either bump pointer
+  // moves, so smaller allocations keep succeeding afterwards.
+  DiskDeviceConfig small;
+  small.capacity_bytes = 42 * kPageSize;  // 1 metadata page + 41 usable
+  TieredFs fs("t", std::make_unique<DiskDevice>(small),
+              std::make_unique<DiskDevice>(DiskDeviceConfig{}));
+  const InodeNum ino = fs.CreateFile(fs.root(), "f").value();
+  const std::string a(static_cast<size_t>(32 * kPageSize), 'a');
+  ASSERT_TRUE(fs.WriteBytes(ino, 0, std::span<const char>(a.data(), a.size())).ok());
+
+  // Growing to 48 pages needs a fresh 48-page region on both tiers; tier 0
+  // has only 9 pages left.
+  auto grow = fs.Truncate(ino, 48 * kPageSize);
+  ASSERT_FALSE(grow.ok());
+  EXPECT_EQ(grow.error(), Err::kNoSpc);
+
+  // The original region still maps and serves I/O.
+  EXPECT_TRUE(fs.ReadPagesFromStore(ino, 0, 32).ok());
+
+  // The failed grow consumed nothing: a 4-page file still fits (33 + 4 + 4
+  // would not fit twice, so a second over-ask keeps failing deterministically).
+  const InodeNum ino2 = fs.CreateFile(fs.root(), "g").value();
+  const std::string b(static_cast<size_t>(4 * kPageSize), 'b');
+  ASSERT_TRUE(fs.WriteBytes(ino2, 0, std::span<const char>(b.data(), b.size())).ok());
+  EXPECT_TRUE(fs.ReadPagesFromStore(ino2, 0, 4).ok());
+  auto grow2 = fs.Truncate(ino, 48 * kPageSize);
+  ASSERT_FALSE(grow2.ok());
+  EXPECT_EQ(grow2.error(), Err::kNoSpc);
+}
+
 TEST(RankByTest, P99RankingDefersSsdInsideGcWindow) {
   TieredWorld w = MakeTieredWorld();
   const int fd = w.kernel->Create(*w.proc, "/f").value();
