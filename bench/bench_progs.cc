@@ -1,0 +1,184 @@
+// Completion-program benchmark: how much of an application's cost was just
+// kernel crossings? Two scenarios, both deterministic simulated time:
+//
+// 1. Grep early-exit — `grep -q` over a cold ext2 text file with one marker
+//    placed past the midpoint. The oracle pays a read() per buffer until the
+//    match; the completion program scans at I/O completion, returns after
+//    the matching chunk, and cancels the readahead it no longer needs. The
+//    gated `speedup` is the crossing reduction (oracle syscalls / program
+//    syscalls) — the paper-style "hops eliminated" number, required >= 2x.
+//
+// 2. Chain walk — a 2048-block pointer chase, cache fully warm so device
+//    time is out of the picture and *only* the per-hop overhead differs:
+//    two syscalls plus a user copy per hop for the oracle versus one
+//    install + one run for the program. Results are asserted identical
+//    (same blocks, same order, same matches) before any timing is reported.
+//    The gated `speedup` is simulated elapsed time, oracle / program.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/apps/find.h"
+#include "src/apps/grep.h"
+#include "src/common/rng.h"
+#include "src/device/disk_device.h"
+#include "src/fs/extent_file_system.h"
+#include "src/workload/chain_gen.h"
+#include "src/workload/text_gen.h"
+
+namespace sled {
+namespace {
+
+struct World {
+  std::unique_ptr<SimKernel> kernel;
+  Process* proc = nullptr;
+};
+
+World MakeWorld() {
+  World w;
+  KernelConfig config;
+  config.cache.capacity_pages = 10240;
+  w.kernel = std::make_unique<SimKernel>(config);
+  DiskDeviceConfig dc;
+  dc.seed = 7;
+  auto fs = std::make_unique<ExtFs>("ext2", std::make_unique<DiskDevice>(dc));
+  SLED_CHECK(w.kernel->Mount("/", std::move(fs)).ok(), "mount failed");
+  w.proc = &w.kernel->CreateProcess("progbench");
+  return w;
+}
+
+struct RunCost {
+  double ms = 0;
+  int64_t syscalls = 0;
+};
+
+// ---- scenario 1: grep -q early exit, cold cache ----
+
+struct GrepOutcome {
+  RunCost off;
+  RunCost on;
+  bool agree = false;
+};
+
+GrepOutcome RunGrepEarlyExit() {
+  constexpr int64_t kFileBytes = 16 * kMiB;
+  GrepOutcome out;
+  bool found[2] = {false, false};
+  for (int use_prog = 0; use_prog < 2; ++use_prog) {
+    World w = MakeWorld();
+    Rng rng(1234);
+    SLED_CHECK(GenerateTextFile(*w.kernel, *w.proc, "/t.txt", kFileBytes, rng).ok(),
+               "genfile failed");
+    SLED_CHECK(PlaceMarker(*w.kernel, *w.proc, "/t.txt", (kFileBytes * 5) / 8).ok(),
+               "marker failed");
+    w.kernel->FlushAllDirty();
+    w.kernel->DropCaches();
+    Process& runner = w.kernel->CreateProcess("grep");
+    GrepOptions opts;
+    opts.quiet_first_match = true;
+    opts.kernel_program = use_prog == 1;
+    auto r = GrepApp::Run(*w.kernel, runner, "/t.txt", kGrepMarker, opts);
+    SLED_CHECK(r.ok(), "grep failed");
+    found[use_prog] = r->found;
+    RunCost& cost = use_prog == 1 ? out.on : out.off;
+    cost.ms = runner.stats().elapsed().ToSeconds() * 1e3;
+    cost.syscalls = runner.stats().syscalls;
+  }
+  out.agree = found[0] && found[1];
+  return out;
+}
+
+// ---- scenario 2: chain walk, warm cache ----
+
+struct ChainOutcome {
+  RunCost off;
+  RunCost on;
+  bool agree = false;
+  int64_t blocks = 0;
+};
+
+ChainOutcome RunChainWalk() {
+  constexpr int64_t kBlocks = 2048;
+  World w = MakeWorld();
+  Rng rng(77);
+  ChainGenOptions gen;
+  gen.num_blocks = kBlocks;
+  gen.marker_every = 64;
+  SLED_CHECK(GenerateChainFile(*w.kernel, *w.proc, "/chain", gen, rng).ok(), "genchain failed");
+  w.kernel->FlushAllDirty();
+
+  ChainOptions opts;
+  opts.name_contains = std::string(kChainMarker);
+  // Warm-up pass: after this every block is cached, so the measured runs
+  // differ only in per-hop crossing and copy cost.
+  SLED_CHECK(FindApp::RunChain(*w.kernel, *w.proc, "/chain", opts).ok(), "warm-up failed");
+
+  ChainOutcome out;
+  ChainResult results[2];
+  for (int use_prog = 0; use_prog < 2; ++use_prog) {
+    Process& runner = w.kernel->CreateProcess("chain");
+    ChainOptions run_opts = opts;
+    run_opts.kernel_program = use_prog == 1;
+    auto r = FindApp::RunChain(*w.kernel, runner, "/chain", run_opts);
+    SLED_CHECK(r.ok(), "chain walk failed");
+    results[use_prog] = r.value();
+    RunCost& cost = use_prog == 1 ? out.on : out.off;
+    cost.ms = runner.stats().elapsed().ToSeconds() * 1e3;
+    cost.syscalls = runner.stats().syscalls;
+  }
+  // Identity first, timing second: a fast wrong answer is not a speedup.
+  out.agree = results[0] == results[1];
+  out.blocks = results[0].blocks_visited;
+  return out;
+}
+
+int Main() {
+  const GrepOutcome grep = RunGrepEarlyExit();
+  const double grep_hops =
+      grep.on.syscalls > 0 ? static_cast<double>(grep.off.syscalls) /
+                                 static_cast<double>(grep.on.syscalls)
+                           : 0.0;
+  const double grep_time = grep.on.ms > 0 ? grep.off.ms / grep.on.ms : 0.0;
+  std::printf("# grep -q early exit: 16 MiB cold ext2, marker at 5/8\n");
+  std::printf("  oracle:  %6lld syscalls  %8.3f ms\n",
+              static_cast<long long>(grep.off.syscalls), grep.off.ms);
+  std::printf("  program: %6lld syscalls  %8.3f ms   crossings %.1fx down, time %.2fx, "
+              "agree=%s\n",
+              static_cast<long long>(grep.on.syscalls), grep.on.ms, grep_hops, grep_time,
+              grep.agree ? "yes" : "NO");
+
+  const ChainOutcome chain = RunChainWalk();
+  const double chain_speedup = chain.on.ms > 0 ? chain.off.ms / chain.on.ms : 0.0;
+  std::printf("# chain walk: %lld warm blocks, 2 syscalls/hop vs 1 program run\n",
+              static_cast<long long>(chain.blocks));
+  std::printf("  oracle:  %6lld syscalls  %8.3f ms\n",
+              static_cast<long long>(chain.off.syscalls), chain.off.ms);
+  std::printf("  program: %6lld syscalls  %8.3f ms   time %.2fx, agree=%s\n",
+              static_cast<long long>(chain.on.syscalls), chain.on.ms, chain_speedup,
+              chain.agree ? "yes" : "NO");
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"grep_hops\": {\"speedup\": %.6f, \"syscalls_off\": %lld, \"syscalls_on\": %lld, "
+      "\"time_off_ms\": %.6f, \"time_on_ms\": %.6f, \"time_ratio\": %.6f},\n"
+      "  \"chain_walk\": {\"speedup\": %.6f, \"syscalls_off\": %lld, \"syscalls_on\": %lld, "
+      "\"time_off_ms\": %.6f, \"time_on_ms\": %.6f, \"blocks\": %lld}\n"
+      "}",
+      grep_hops, static_cast<long long>(grep.off.syscalls),
+      static_cast<long long>(grep.on.syscalls), grep.off.ms, grep.on.ms, grep_time,
+      chain_speedup, static_cast<long long>(chain.off.syscalls),
+      static_cast<long long>(chain.on.syscalls), chain.off.ms, chain.on.ms,
+      static_cast<long long>(chain.blocks));
+  PrintBenchMetrics("progs", json);
+
+  const bool pass = grep.agree && chain.agree && grep_hops >= 2.0 && chain_speedup > 1.0;
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sled
+
+int main() { return sled::Main(); }

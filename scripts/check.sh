@@ -11,18 +11,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==== tier-1: configure + build + ctest ===="
+echo "==== tier-1: configure + build + ctest -L tier1 ===="
 cmake -B build -S . >/dev/null
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+(cd build && ctest -L tier1 --output-on-failure -j)
+
+echo "==== slow lane: long differential suites (ctest -L slow) ===="
+# cache_diff / shard_diff / openload_diff re-run whole workloads many times;
+# they gate here once rather than in every tier-1 repetition below.
+(cd build && ctest -L slow --output-on-failure -j)
 
 echo "==== tier-1 (elevator I/O engine): ctest with SLEDS_IO_MODE=elevator ===="
-(cd build && SLEDS_IO_MODE=elevator ctest --output-on-failure -j)
+(cd build && SLEDS_IO_MODE=elevator ctest -L tier1 --output-on-failure -j)
 
 echo "==== fault smoke: ctest under a nonzero fault plan ===="
 # A low-probability transient-only plan (masked by controller retries) must
 # leave the whole tier-1 suite green: errors may flow, nothing may break.
-(cd build && SLEDS_FAULT_SEED=7 ctest --output-on-failure -j)
+(cd build && SLEDS_FAULT_SEED=7 ctest -L tier1 --output-on-failure -j)
 
 echo "==== fault smoke: faults-off bench output is byte-identical ===="
 # SLEDS_FAULT_SEED=0 must be indistinguishable from the variable being unset:
@@ -62,9 +67,9 @@ rm -rf "${acc_json_dir}"
 if [[ "${SKIP_PERF:-}" == "1" ]]; then
   echo "==== perf stage skipped (SKIP_PERF=1) ===="
 else
-  echo "==== perf gate: Release bench_micro + bench_scale + bench_shard + bench_openloop + bench_replica vs baselines ===="
+  echo "==== perf gate: Release bench_micro + bench_scale + bench_shard + bench_openloop + bench_replica + bench_progs vs baselines ===="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build build-release -j --target bench_micro bench_scale bench_shard bench_openloop bench_replica
+  cmake --build build-release -j --target bench_micro bench_scale bench_shard bench_openloop bench_replica bench_progs
   perf_json_dir="$(mktemp -d)"
   # Crash or hang in any bench fails the gate outright; the speedup
   # comparison below only runs once every JSON block exists.
@@ -85,6 +90,11 @@ else
   # simulated time, so Release-vs-Debug makes no difference to the number.
   SLEDS_BENCH_JSON_DIR="${perf_json_dir}" timeout 300 \
     ./build-release/bench/bench_replica
+  # bench_progs asserts program-vs-oracle result identity before timing and
+  # exits nonzero below a 2x crossing reduction; both gated speedups are
+  # simulated time / syscall ratios, so they are deterministic.
+  SLEDS_BENCH_JSON_DIR="${perf_json_dir}" timeout 300 \
+    ./build-release/bench/bench_progs
   if [[ "${SKIP_PERF_GATE:-}" == "1" ]]; then
     echo "==== perf-regression comparison skipped (SKIP_PERF_GATE=1) ===="
   elif command -v python3 >/dev/null 2>&1; then
@@ -117,6 +127,10 @@ else
   # Drives the degraded write/read, stale-mark, recovery, and hedge paths —
   # the code most likely to hide a lifetime bug behind a fault window.
   timeout 600 ./build-asan/bench/bench_replica > /dev/null
+  echo "==== sanitizers: completion-program smoke under ASan+UBSan ===="
+  # Program-enabled grep early-exit and chain walk: the in-kernel completion
+  # machinery (plans, resubmits, cancel-on-match) under full instrumentation.
+  timeout 600 ./build-asan/bench/bench_progs > /dev/null
 fi
 
 if [[ "${SKIP_TSAN:-}" == "1" ]]; then

@@ -17,6 +17,7 @@ Refresh the baselines after an intentional perf change:
     SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_shard
     SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_openloop
     SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_replica
+    SLEDS_BENCH_JSON_DIR=/tmp/bj ./build-release/bench/bench_progs
     scripts/perf_gate.py --refresh /tmp/bj
 
 For bench_shard the gated `speedup` is parallel efficiency (raw speedup per
@@ -100,7 +101,9 @@ def refresh(json_dir, baselines_path):
         "baselines (lower is better, ceiling baseline * %.2f); refresh with "
         "--refresh-accuracy <json_dir>" % (TOLERANCE, ACCURACY_TOLERANCE)
     )
-    payload["benches"] = collect(json_dir, ["micro", "scale", "shard", "openloop", "replica"])
+    payload["benches"] = collect(
+        json_dir, ["micro", "scale", "shard", "openloop", "replica", "progs"]
+    )
     write_baselines(payload, baselines_path)
 
 

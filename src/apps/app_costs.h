@@ -29,7 +29,17 @@ struct AppCpuCosts {
   Duration fits_per_element = Nanoseconds(30);
   // Histogram binning / boxcar accumulation per element.
   Duration image_per_element = Nanoseconds(15);
+  // Chain-walk block parse (pointer + name extraction). Charged identically
+  // by the userspace oracle (FindApp::RunChain) and the kernel-resident
+  // program (ProgSpec::step_cost_ns_per_byte), so the measured difference
+  // between the two paths is purely crossings and copies.
+  Duration chain_per_byte = Nanoseconds(4);
 };
+
+// The per-syscall crossing cost itself lives in CpuCosts::syscall_overhead
+// (src/kernel/sim_kernel.h), overridable process-wide via
+// $SLEDS_SYSCALL_COST; completion-program variants of the tools below
+// eliminate crossings rather than re-pricing them.
 
 inline constexpr int64_t kDefaultAppBuffer = 64 * 1024;
 

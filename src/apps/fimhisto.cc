@@ -52,10 +52,46 @@ Result<FimhistoResult> FimhistoApp::Run(SimKernel& kernel, Process& process,
     }
   }
 
-  // ---- pass 2: min/max (with format conversion) ----
   FimhistoResult result;
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
+
+  if (options.kernel_program) {
+    // Completion-program variant: one kHistogram program performs both the
+    // min/max pass and the binning pass at I/O completion, using the header
+    // geometry the app already parsed. Costs match the oracle's per-element
+    // charges (format conversion + image op), expressed per byte.
+    ProgSpec spec;
+    spec.kind = ProgKind::kHistogram;
+    spec.num_bins = options.num_bins;
+    spec.bitpix = header.bitpix;
+    spec.data_offset = header.data_offset;
+    spec.element_count = header.element_count();
+    spec.chunk_bytes = options.buffer_elements * header.element_size();
+    spec.step_cost_ns_per_byte =
+        static_cast<double>(
+            (options.costs.fits_per_element + options.costs.image_per_element).nanos()) /
+        static_cast<double>(header.element_size());
+    auto run = [&]() -> Result<ProgResult> {
+      SLED_RETURN_IF_ERROR(kernel.InstallProgram(process, in_fd, spec));
+      return kernel.RunProgram(process, in_fd);
+    }();
+    if (run.ok() && run->status != ProgStatus::kOk) {
+      run = Err::kInval;  // program exceeded its sandbox budget
+    }
+    if (!run.ok()) {
+      // Error path: fd cleanup is best-effort; the original error is the story.
+      (void)kernel.Close(process, in_fd);
+      (void)kernel.Close(process, out_fd);
+      return run.error();
+    }
+    lo = run->min_value;
+    hi = run->max_value;
+    result.min_value = lo;
+    result.max_value = hi;
+    result.bins.assign(run->bins.begin(), run->bins.begin() + options.num_bins);
+  } else {
+  // ---- pass 2: min/max (with format conversion) ----
   SLED_RETURN_IF_ERROR(FitsScanElements(
       kernel, process, in_fd, header, options.use_sleds, options.buffer_elements, options.costs,
       [&](int64_t /*first*/, std::span<const double> values) {
@@ -89,6 +125,7 @@ Result<FimhistoResult> FimhistoApp::Run(SimKernel& kernel, Process& process,
                             options.costs.image_per_element *
                                 static_cast<int64_t>(values.size()));
       }));
+  }
 
   // Append the histogram to the output as a small extension: one header
   // block plus the bins as big-endian doubles, padded to the FITS block.

@@ -27,6 +27,12 @@ struct FimhistoOptions {
   bool use_sleds = false;
   int num_bins = 64;
   int64_t buffer_elements = 16 * 1024;
+  // Replace passes two and three with one kernel-resident completion program
+  // (kHistogram): the kernel runs min/max and binning at I/O completion and
+  // returns the finished histogram — one syscall instead of one per buffer
+  // per pass. Pass one (the copy) is unchanged. Requires
+  // num_bins <= kProgMaxBins.
+  bool kernel_program = false;
   AppCpuCosts costs;
 };
 

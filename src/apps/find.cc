@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "src/sleds/delivery.h"
 
@@ -113,6 +114,108 @@ Result<FindResult> FindApp::Run(SimKernel& kernel, Process& process, std::string
   FindResult result;
   SLED_ASSIGN_OR_RETURN(Vfs::Resolved r, kernel.vfs().Resolve(root));
   SLED_RETURN_IF_ERROR(Walk(kernel, process, std::string(root), options, r.fs_id, &result));
+  return result;
+}
+
+namespace {
+
+int64_t ChainReadI64Le(const char* data) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(data[i]);
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Result<ChainResult> FindApp::RunChain(SimKernel& kernel, Process& process, std::string_view path,
+                                      const ChainOptions& options) {
+  if (options.block_bytes < 16 || options.start_offset < 0 || options.max_hops < 1) {
+    return Err::kInval;
+  }
+  SLED_ASSIGN_OR_RETURN(int fd, kernel.Open(process, path));
+
+  if (options.kernel_program) {
+    ProgSpec spec;
+    spec.kind = ProgKind::kChainWalk;
+    spec.pattern = options.name_contains;
+    spec.start_offset = options.start_offset;
+    spec.block_bytes = options.block_bytes;
+    // The head read is the installed first fetch, not a resubmit, so a
+    // budget of max_hops-1 chained reads visits exactly max_hops blocks —
+    // the same cutoff as the oracle loop below.
+    spec.limits.max_resubmits = static_cast<int32_t>(
+        std::min<int64_t>(options.max_hops - 1, std::numeric_limits<int32_t>::max()));
+    spec.step_cost_ns_per_byte = static_cast<double>(options.costs.chain_per_byte.nanos());
+    auto run = [&]() -> Result<ProgResult> {
+      SLED_RETURN_IF_ERROR(kernel.InstallProgram(process, fd, spec));
+      return kernel.RunProgram(process, fd);
+    }();
+    if (!run.ok()) {
+      // Error path: fd cleanup is best-effort; the original error is the story.
+      (void)kernel.Close(process, fd);
+      return run.error();
+    }
+    SLED_RETURN_IF_ERROR(kernel.Close(process, fd));
+    // Hitting the hop budget is the expected way bounded walks end; data
+    // faults (bad pointer, short block) are a malformed chain.
+    if (run->status != ProgStatus::kOk && run->status != ProgStatus::kAbortedResubmits) {
+      return Err::kInval;
+    }
+    ChainResult result;
+    result.blocks_visited = run->blocks_visited;
+    result.names_matched = run->names_matched;
+    result.chain_hash = run->chain_hash;
+    result.matched_offsets.assign(run->matched_offsets.begin(),
+                                  run->matched_offsets.begin() + run->matched_count);
+    return result;
+  }
+
+  // Userspace oracle: two syscalls (lseek + read) and one buffer copy per
+  // hop — exactly the per-hop cost the completion program eliminates.
+  ChainResult result;
+  result.chain_hash = ProgResult().chain_hash;  // shared FNV-1a basis
+  std::vector<char> buf(static_cast<size_t>(options.block_bytes));
+  SLED_ASSIGN_OR_RETURN(InodeAttr attr, kernel.Fstat(process, fd));
+  int64_t offset = options.start_offset;
+  for (int64_t hop = 0; offset >= 0; ++hop) {
+    if (offset + options.block_bytes > attr.size) {
+      (void)kernel.Close(process, fd);
+      return Err::kInval;
+    }
+    SLED_RETURN_IF_ERROR(kernel.Lseek(process, fd, offset, Whence::kSet));
+    SLED_ASSIGN_OR_RETURN(
+        int64_t n, kernel.Read(process, fd, std::span<char>(buf.data(), buf.size())));
+    if (n != options.block_bytes) {
+      (void)kernel.Close(process, fd);
+      return Err::kIo;
+    }
+    kernel.ChargeAppCpu(process, options.costs.chain_per_byte * n);
+    const int64_t next = ChainReadI64Le(buf.data());
+    const int64_t name_len = ChainReadI64Le(buf.data() + 8);
+    if (name_len < 0 || 16 + name_len > n) {
+      (void)kernel.Close(process, fd);
+      return Err::kInval;
+    }
+    const std::string_view name(buf.data() + 16, static_cast<size_t>(name_len));
+    ++result.blocks_visited;
+    for (char c : name) {
+      result.chain_hash = (result.chain_hash ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+    }
+    if (!options.name_contains.empty() &&
+        name.find(options.name_contains) != std::string_view::npos) {
+      if (result.names_matched < kProgMaxRecorded) {
+        result.matched_offsets.push_back(offset);
+      }
+      ++result.names_matched;
+    }
+    if (hop + 1 >= options.max_hops) {
+      break;
+    }
+    offset = next;
+  }
+  SLED_RETURN_IF_ERROR(kernel.Close(process, fd));
   return result;
 }
 

@@ -16,7 +16,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/apps/app_costs.h"
 #include "src/common/result.h"
+#include "src/common/units.h"
 #include "src/kernel/sim_kernel.h"
 
 namespace sled {
@@ -52,10 +54,44 @@ struct FindResult {
   int64_t mounts_skipped = 0;          // entries skipped by -xdev
 };
 
+// ---- directory-chain walk (completion-program showcase) ----
+//
+// A chain file is find's worst I/O shape distilled: fixed-size blocks, each
+// holding the offset of the next block plus a name, visited strictly one
+// dependent hop at a time (see workload/chain_gen.h for the block layout).
+// The userspace oracle pays two syscalls (lseek + read) and one user-space
+// copy per hop; the kernel_program variant walks the same chain from the
+// I/O completion path — one syscall total.
+struct ChainOptions {
+  // Substring filter on block names; matched block offsets are recorded (up
+  // to kProgMaxRecorded, the shared reporting cap).
+  std::string name_contains;
+  int64_t start_offset = 0;
+  int64_t block_bytes = kPageSize;
+  // Hop budget: the oracle stops after this many blocks; the program's
+  // resubmit bound enforces the same limit in-kernel.
+  int64_t max_hops = 1 << 20;
+  bool kernel_program = false;
+  AppCpuCosts costs;
+};
+
+struct ChainResult {
+  int64_t blocks_visited = 0;
+  int64_t names_matched = 0;
+  // Order-sensitive FNV-1a over every visited block's name: equal hashes
+  // prove the two paths visited the same blocks in the same order.
+  uint64_t chain_hash = 0;
+  std::vector<int64_t> matched_offsets;  // first kProgMaxRecorded matches
+
+  friend bool operator==(const ChainResult&, const ChainResult&) = default;
+};
+
 class FindApp {
  public:
   static Result<FindResult> Run(SimKernel& kernel, Process& process, std::string_view root,
                                 const FindOptions& options);
+  static Result<ChainResult> RunChain(SimKernel& kernel, Process& process, std::string_view path,
+                                      const ChainOptions& options);
 };
 
 }  // namespace sled

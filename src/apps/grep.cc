@@ -166,6 +166,40 @@ Result<GrepResult> GrepApp::Run(SimKernel& kernel, Process& process, std::string
   if (pattern.empty()) {
     return Err::kInval;
   }
+  if (options.kernel_program) {
+    // Completion-program variant: -q only (the program returns found/offset,
+    // not assembled lines). One install + one run replaces the whole
+    // read-a-buffer / scan / repeat loop.
+    if (!options.quiet_first_match) {
+      return Err::kInval;
+    }
+    SLED_ASSIGN_OR_RETURN(int fd, kernel.Open(process, path));
+    ProgSpec spec;
+    spec.kind = ProgKind::kFindFirst;
+    spec.pattern = std::string(pattern);
+    spec.chunk_bytes = options.buffer_bytes;
+    spec.order_by_sleds = options.use_sleds;
+    // Same per-byte compute the userspace scan declares, so the two paths
+    // differ only in crossings and copies.
+    spec.step_cost_ns_per_byte = static_cast<double>(options.costs.grep_per_byte.nanos());
+    auto run = [&]() -> Result<ProgResult> {
+      SLED_RETURN_IF_ERROR(kernel.InstallProgram(process, fd, spec));
+      return kernel.RunProgram(process, fd);
+    }();
+    if (!run.ok()) {
+      // Error path: fd cleanup is best-effort; the original error is the story.
+      (void)kernel.Close(process, fd);
+      return run.error();
+    }
+    SLED_RETURN_IF_ERROR(kernel.Close(process, fd));
+    if (run->status != ProgStatus::kOk) {
+      return Err::kInval;  // program exceeded its sandbox budget
+    }
+    GrepResult result;
+    result.found = run->found;
+    kernel.ChargeAppCpu(process, options.costs.grep_per_match * (run->found ? 1 : 0));
+    return result;
+  }
   SLED_ASSIGN_OR_RETURN(int fd, kernel.Open(process, path));
   std::vector<char> buf(static_cast<size_t>(options.buffer_bytes));
   std::vector<GrepMatch> matches;

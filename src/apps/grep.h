@@ -35,6 +35,12 @@ struct GrepOptions {
   int before_context = 0;
   int after_context = 0;
   int64_t buffer_bytes = kDefaultAppBuffer;
+  // Run the scan as a kernel-resident completion program (kFindFirst):
+  // requires -q (the program returns found/offset, not match lines). The
+  // kernel scans chunks at completion, stops at the first hit, and cancels
+  // queued readahead past it — zero per-chunk syscalls. With use_sleds the
+  // in-kernel plan consumes SLED sections lowest-latency-first.
+  bool kernel_program = false;
   AppCpuCosts costs;
 };
 

@@ -64,6 +64,30 @@ Result<std::string_view> FetchChunk(SimKernel& kernel, Process& process, int fd,
 
 Result<WcResult> WcApp::Run(SimKernel& kernel, Process& process, std::string_view path,
                             const WcOptions& options) {
+  if (options.kernel_program) {
+    // Completion-program variant: the kernel runs the whole count at I/O
+    // completion and returns three counters — no per-buffer crossings, no
+    // user copies. Plans are sequential, so use_sleds does not apply.
+    SLED_ASSIGN_OR_RETURN(int fd, kernel.Open(process, path));
+    ProgSpec spec;
+    spec.kind = ProgKind::kCount;
+    spec.chunk_bytes = options.buffer_bytes;
+    spec.step_cost_ns_per_byte = static_cast<double>(options.costs.wc_per_byte.nanos());
+    auto run = [&]() -> Result<ProgResult> {
+      SLED_RETURN_IF_ERROR(kernel.InstallProgram(process, fd, spec));
+      return kernel.RunProgram(process, fd);
+    }();
+    if (!run.ok()) {
+      // Error path: fd cleanup is best-effort; the original error is the story.
+      (void)kernel.Close(process, fd);
+      return run.error();
+    }
+    SLED_RETURN_IF_ERROR(kernel.Close(process, fd));
+    if (run->status != ProgStatus::kOk) {
+      return Err::kInval;  // program exceeded its sandbox budget
+    }
+    return WcResult{run->lines, run->words, run->bytes};
+  }
   SLED_ASSIGN_OR_RETURN(int fd, kernel.Open(process, path));
   std::vector<char> buf(static_cast<size_t>(options.buffer_bytes));
   std::vector<ChunkCount> chunks;

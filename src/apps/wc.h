@@ -31,6 +31,12 @@ struct WcOptions {
   // the "mmap-friendly" variant the paper projects in §5.2.
   bool use_mmap = false;
   int64_t buffer_bytes = kDefaultAppBuffer;
+  // Run the count as a kernel-resident completion program (kCount): the
+  // kernel reduces lines/words/bytes at I/O completion and returns only the
+  // three counters — one syscall for the whole file instead of one per
+  // buffer. Program plans are sequential (word seams carry in file order),
+  // which is also wc's natural access pattern.
+  bool kernel_program = false;
   AppCpuCosts costs;
 };
 

@@ -52,6 +52,10 @@ struct OpenFile {
   // Pages this descriptor has pinned via FSLEDS_LOCK; auto-unpinned on
   // close (paper §3.4's lock/reservation mechanism).
   std::vector<int64_t> locked_pages;
+
+  // Completion-program handle installed via SimKernel::InstallProgram
+  // (-1 = none); auto-uninstalled on close.
+  int64_t prog = -1;
 };
 
 class Process {

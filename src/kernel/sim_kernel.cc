@@ -6,8 +6,11 @@
 #include <string_view>
 #include <unordered_set>
 
+#include <cmath>
+
 #include "src/common/log.h"
 #include "src/common/units.h"
+#include "src/progs/progs_env.h"
 
 namespace sled {
 namespace {
@@ -59,6 +62,8 @@ SimKernel::SimKernel(KernelConfig config)
   SLED_CHECK(config_.min_readahead_pages >= 1, "readahead minimum must be >= 1");
   SLED_CHECK(config_.max_readahead_pages >= config_.min_readahead_pages,
              "readahead maximum below minimum");
+  // Process-wide crossing-cost override (cached read; see progs_env.h).
+  config_.costs.syscall_overhead = SyscallCostFromEnv(config_.costs.syscall_overhead);
   obs_.SetLevelName(kMemoryLevel, "memory");
   vfs_.AttachObserver(&obs_);
 }
@@ -314,6 +319,10 @@ Result<void> SimKernel::Close(Process& p, int fd) {
   // Release any SLED locks this descriptor held.
   for (int64_t page : of->locked_pages) {
     cache_.Unpin({of->fid, page});
+  }
+  // Uninstall the descriptor's completion program, if any.
+  if (of->prog >= 0) {
+    progs_.erase(of->prog);
   }
   p.RemoveFd(fd);
   return Result<void>::Ok();
@@ -608,6 +617,142 @@ Result<std::string_view> SimKernel::MmapRead(Process& p, int fd, int64_t offset,
   p.stats().bytes_read += n;
   SLED_ASSIGN_OR_RETURN(std::string_view content, fs->ContentView(of->ino));
   return content.substr(static_cast<size_t>(offset), static_cast<size_t>(n));
+}
+
+Result<void> SimKernel::ProgFaultSpan(Process& p, OpenFile& of, int64_t offset, int64_t length,
+                                      int64_t size) {
+  if (length <= 0) {
+    return Result<void>::Ok();
+  }
+  const int64_t file_pages = PagesFor(size);
+  const int64_t first = offset / kPageSize;
+  const int64_t last = (offset + length - 1) / kPageSize;
+  for (int64_t page = first; page <= last; ++page) {
+    const PageKey key{of.fid, page};
+    if (engine_on() && inflight_.contains(key)) {
+      AwaitPage(p, key);
+    }
+    if (!cache_.Touch(key)) {
+      // Demand miss: identical readahead planning to Read()/MmapRead().
+      const int64_t run = PlanReadaheadRun(of, page, file_pages);
+      const int64_t demand = std::min<int64_t>(run, last - page + 1);
+      if (engine_on()) {
+        SLED_ASSIGN_OR_RETURN(const int64_t eff, EnginePageIn(p, of, page, run, demand));
+        of.last_demand_page = page + eff;
+      } else {
+        SLED_RETURN_IF_ERROR(PageIn(p, of, page, run, demand));
+        of.last_demand_page = page + run;
+      }
+    } else {
+      ++p.stats().minor_faults;
+    }
+    ChargeCpu(p, config_.costs.prog_touch_per_page);
+  }
+  return Result<void>::Ok();
+}
+
+Result<int64_t> SimKernel::InstallProgram(Process& p, int fd, const ProgSpec& spec) {
+  SyscallScope sys(*this, p, "prog_install");
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  SLED_ASSIGN_OR_RETURN(CompletionProgram prog, CompletionProgram::Create(spec));
+  if (of->prog >= 0) {
+    progs_.erase(of->prog);  // replace the descriptor's previous program
+  }
+  const int64_t handle = next_prog_id_++;
+  progs_.emplace(handle, std::move(prog));
+  of->prog = handle;
+  obs_.ProgInstall(p.pid(), of->fid, static_cast<int>(spec.kind));
+  return handle;
+}
+
+Result<ProgResult> SimKernel::RunProgram(Process& p, int fd) {
+  SyscallScope sys(*this, p, "prog_run");
+  SLED_ASSIGN_OR_RETURN(OpenFile * of, FdOf(p, fd));
+  auto it = of->prog < 0 ? progs_.end() : progs_.find(of->prog);
+  if (it == progs_.end()) {
+    return Err::kInval;
+  }
+  CompletionProgram& prog = it->second;
+  const ProgSpec& spec = prog.spec();
+  FileSystem* fs = FsOf(*of);
+  const int64_t size = fs->SizeOf(of->ino);
+
+  // One completed chunk: fault it in (demand paging, readahead, engine
+  // submission, and — inside the FS — replica routing, all exactly as a
+  // Read would), then run the program over the bytes in place. The program
+  // body is priced per invocation plus its app-declared per-byte compute;
+  // there is no crossing and no user copy — that is the entire win.
+  auto run_chunk = [&](int64_t off, int64_t len) -> Result<CompletionProgram::Action> {
+    SLED_RETURN_IF_ERROR(ProgFaultSpan(p, *of, off, len, size));
+    SLED_ASSIGN_OR_RETURN(std::string_view content, fs->ContentView(of->ino));
+    const std::string_view data =
+        content.substr(static_cast<size_t>(off), static_cast<size_t>(len));
+    ChargeCpu(p, config_.costs.prog_invoke_overhead +
+                     Nanoseconds(std::llround(spec.step_cost_ns_per_byte *
+                                              static_cast<double>(len))));
+    p.stats().bytes_read += len;
+    return prog.OnComplete(off, data);
+  };
+
+  using Action = CompletionProgram::Action;
+  Action act = prog.Start(size);
+  if (prog.self_driven()) {
+    // kChainWalk / kHistogram: every completion names the next read — the
+    // chained resubmit that replaces an app round trip per hop.
+    while (act.kind == Action::Kind::kSeek) {
+      const int64_t off = act.offset;
+      const int64_t len = std::min(act.length, size - off);
+      SLED_ASSIGN_OR_RETURN(act, run_chunk(off, len));
+      if (act.kind == Action::Kind::kSeek) {
+        obs_.ProgResubmit(p.pid(), of->fid, act.offset, act.length);
+      }
+    }
+  } else if (size > 0 && act.kind == Action::Kind::kNext) {
+    // kFindFirst / kCount: the kernel owns the chunk plan — file order, or
+    // the picker's §4.2 lowest-latency-first order over the file's SLEDs.
+    // kFindFirst chunks overlap by needle-1 bytes so a match straddling a
+    // chunk boundary is still seen by the chunk it starts in.
+    const int64_t overlap =
+        spec.kind == ProgKind::kFindFirst
+            ? static_cast<int64_t>(spec.pattern.size()) - 1
+            : 0;
+    std::vector<std::pair<int64_t, int64_t>> plan;
+    if (spec.order_by_sleds) {
+      SLED_ASSIGN_OR_RETURN(SledVector sleds,
+                            BuildSleds(p, *of, 0, PagesFor(size), size, spec.rank_by));
+      SortByPickOrder(sleds, spec.rank_by);
+      for (const Sled& s : sleds) {
+        const int64_t end = std::min(s.offset + s.length, size);
+        for (int64_t off = s.offset; off < end; off += spec.chunk_bytes) {
+          plan.emplace_back(off, std::min(spec.chunk_bytes, end - off));
+        }
+      }
+    } else {
+      for (int64_t off = 0; off < size; off += spec.chunk_bytes) {
+        plan.emplace_back(off, std::min(spec.chunk_bytes, size - off));
+      }
+    }
+    for (const auto& [off, nominal] : plan) {
+      const int64_t len = std::min(nominal + overlap, size - off);
+      SLED_ASSIGN_OR_RETURN(act, run_chunk(off, len));
+      if (act.kind != Action::Kind::kNext) {
+        break;
+      }
+    }
+    if (act.kind == Action::Kind::kNext) {
+      act = prog.OnPlanEnd();
+    }
+  }
+
+  const ProgResult& r = prog.result();
+  if (act.kind == Action::Kind::kDone && act.cancel_pending) {
+    // Prune: the program is done with this file, so readahead still queued
+    // past the match is pure waste — cancel it before it reaches a device.
+    CancelFileIo(of->fid, PagesFor(r.match_offset + 1));
+  }
+  obs_.ProgDone(p.pid(), of->fid, static_cast<int>(spec.kind),
+                r.status != ProgStatus::kOk, r.invocations, r.resubmits, r.bytes_examined);
+  return r;
 }
 
 Result<int64_t> SimKernel::Write(Process& p, int fd, std::span<const char> src) {

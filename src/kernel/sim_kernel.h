@@ -21,6 +21,7 @@
 #include "src/kernel/sleds_table.h"
 #include "src/obs/observer.h"
 #include "src/openload/timing_wheel.h"
+#include "src/progs/program.h"
 #include "src/sleds/sled.h"
 
 namespace sled {
@@ -29,10 +30,20 @@ namespace sled {
 // increases are an acceptable price" trade-off (§5.2) visible: SLED scans and
 // extra syscalls cost real (simulated) time.
 struct CpuCosts {
+  // Per-syscall crossing cost. $SLEDS_SYSCALL_COST (nanoseconds, cached once
+  // per process) overrides this at kernel construction; unset keeps the
+  // historical 4 us, so existing BENCH output stays byte-identical.
   Duration syscall_overhead = Microseconds(4);
   Duration fault_overhead = Microseconds(15);   // per major-fault event
   Duration sled_scan_per_page = Nanoseconds(150);
   Duration mmap_touch_per_page = Nanoseconds(600);  // minor fault / TLB work
+  // Completion-program execution (src/progs): one in-kernel dispatch per
+  // completion-path invocation, plus a per-page touch while the program
+  // examines bytes in place (mmap-class — no user copy, no crossing). These
+  // price what a program run *does* cost, so the syscalls it eliminates are
+  // an honest win, not an accounting hole.
+  Duration prog_invoke_overhead = Nanoseconds(500);
+  Duration prog_touch_per_page = Nanoseconds(600);
 };
 
 // How page transfers reach the backing devices.
@@ -179,6 +190,22 @@ class SimKernel {
   Result<int64_t> IoctlSledsLock(Process& p, int fd, int64_t offset, int64_t length);
   Result<int64_t> IoctlSledsUnlock(Process& p, int fd, int64_t offset, int64_t length);
 
+  // ---- completion-path storage programs (src/progs) ----
+  // Install `spec` on the open file; replaces the descriptor's previous
+  // program, auto-uninstalls on Close. Validates the sandbox bounds (pattern
+  // size, bin count, limits) and returns the program handle.
+  Result<int64_t> InstallProgram(Process& p, int fd, const ProgSpec& spec);
+  // Execute the descriptor's installed program to completion inside ONE
+  // syscall. The kernel faults chunks in exactly as Read/MmapRead would
+  // (same readahead planning, engine submission, and replica routing), hands
+  // each completed chunk to the program in place (no user copy), and acts on
+  // its verdict: feed the next planned chunk, chain a program-chosen read
+  // (kSeek — the hop that replaces an app round trip), or finish — early
+  // exits cancel the readahead already queued past the match. A program that
+  // exhausts its step or resubmit budget is aborted (status in the result);
+  // the kernel and the file stay fully consistent either way.
+  Result<ProgResult> RunProgram(Process& p, int fd);
+
   // Charge user-level CPU work (application processing loops) to a process.
   // Keeps app compute on the same virtual clock as kernel work.
   void ChargeAppCpu(Process& p, Duration d) { ChargeCpu(p, d); }
@@ -272,6 +299,13 @@ class SimKernel {
   // MmapRead so the two paths cannot drift.
   int64_t PlanReadaheadRun(OpenFile& of, int64_t page, int64_t file_pages);
 
+  // Fault pages of [offset, offset+length) into the cache for a completion
+  // program: the same demand/readahead/engine logic as Read and MmapRead
+  // (kept in their exact shape so the three paths cannot drift), but charges
+  // prog_touch_per_page instead of a user-space copy.
+  Result<void> ProgFaultSpan(Process& p, OpenFile& of, int64_t offset, int64_t length,
+                             int64_t size);
+
   // Shared FSLEDS_GET body: charge the scan, build the SLED vector for pages
   // [first_page, end_page) of the file, and record the scan event.
   Result<SledVector> BuildSleds(Process& p, const OpenFile& of, int64_t first_page,
@@ -351,6 +385,10 @@ class SimKernel {
   // its syscall-boundary code; EnginePageIn reports it when an awaited page
   // never arrived. kOk when no dispatch has failed since the last report.
   Err last_io_error_ = Err::kOk;
+  // Installed completion programs, keyed by handle; OpenFile::prog points
+  // here and Close uninstalls.
+  std::unordered_map<int64_t, CompletionProgram> progs_;
+  int64_t next_prog_id_ = 1;
   int next_pid_ = 1;
 };
 

@@ -342,6 +342,48 @@ void Observer::ReplicaHedge(std::string_view fs, bool win) {
   trace_.Push(std::move(e));
 }
 
+void Observer::ProgInstall(int pid, uint64_t file, int kind) {
+  metrics_.Add("progs.installed");
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kProgInstall;
+  e.pid = pid;
+  e.file = file;
+  e.a = kind;  // repurposed: ProgKind ordinal
+  trace_.Push(std::move(e));
+}
+
+void Observer::ProgResubmit(int pid, uint64_t file, int64_t offset, int64_t bytes) {
+  metrics_.Add("progs.resubmits");
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kProgResubmit;
+  e.pid = pid;
+  e.file = file;
+  e.a = offset;
+  e.b = bytes;
+  trace_.Push(std::move(e));
+}
+
+void Observer::ProgDone(int pid, uint64_t file, int kind, bool aborted, int64_t invocations,
+                        int64_t resubmits, int64_t bytes_examined) {
+  metrics_.Add("progs.runs");
+  if (aborted) {
+    metrics_.Add("progs.aborts");
+  }
+  metrics_.Add("progs.invocations", invocations);
+  metrics_.Add("progs.bytes_examined", bytes_examined);
+  TraceRecord e;
+  e.at = clock_->Now();
+  e.kind = TraceKind::kProgDone;
+  e.pid = pid;
+  e.file = file;
+  e.level = aborted ? 1 : 0;  // repurposed: 1 = resource bound hit
+  e.a = kind;                 // repurposed: ProgKind ordinal
+  e.b = resubmits;
+  trace_.Push(std::move(e));
+}
+
 std::string Observer::MetricsJson() const {
   std::string out = metrics_.ToJson();
   SLED_CHECK(!out.empty() && out.back() == '}', "malformed metrics json");

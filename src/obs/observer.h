@@ -93,6 +93,16 @@ class Observer {
   // beat the straggling primary to the deadline-adjusted finish.
   void ReplicaHedge(std::string_view fs, bool win);
 
+  // ---- completion-program hooks (fire only when programs are used) ----
+  // A program was installed on an open file; `kind` is the ProgKind ordinal.
+  void ProgInstall(int pid, uint64_t file, int kind);
+  // A program chained a dependent read from the completion path (the hop
+  // that would have been an app round trip).
+  void ProgResubmit(int pid, uint64_t file, int64_t offset, int64_t bytes);
+  // A program run finished (or was aborted by its resource bounds).
+  void ProgDone(int pid, uint64_t file, int kind, bool aborted, int64_t invocations,
+                int64_t resubmits, int64_t bytes_examined);
+
   // Combined export: the metric registry plus a trace summary block.
   std::string MetricsJson() const;
 

@@ -46,6 +46,12 @@ std::string_view TraceKindName(TraceKind kind) {
       return "replica_recovery";
     case TraceKind::kReplicaHedge:
       return "replica_hedge";
+    case TraceKind::kProgInstall:
+      return "prog_install";
+    case TraceKind::kProgResubmit:
+      return "prog_resubmit";
+    case TraceKind::kProgDone:
+      return "prog_done";
   }
   return "unknown";
 }

@@ -41,6 +41,9 @@ enum class TraceKind : uint8_t {
   kReplicaStale,
   kReplicaRecovery,
   kReplicaHedge,
+  kProgInstall,
+  kProgResubmit,
+  kProgDone,
 };
 
 std::string_view TraceKindName(TraceKind kind);

@@ -1,0 +1,228 @@
+// Completion-path storage programs (BPF-for-storage style, PAPERS.md).
+//
+// A completion program is a small, sandboxed state machine that an
+// application installs on an open file (SimKernel::InstallProgram) and that
+// the kernel runs against I/O completions (SimKernel::RunProgram) instead of
+// bouncing every chunk back across the app/kernel boundary. Programs can
+//
+//   * prune   — kFindFirst stops the scan at the first pattern hit and the
+//               kernel cancels the readahead already queued past it;
+//   * chain   — kChainWalk and kHistogram return the *next* read from inside
+//               the completion path (pointer-chase hops, pass N -> pass N+1),
+//               so a dependent I/O chain pays one syscall total instead of
+//               two per hop;
+//   * reduce  — kCount and kHistogram aggregate in the kernel and return
+//               only counters.
+//
+// Sandbox contract (enforced here, not trusted from the app):
+//   - no allocation after Create(): all state is fixed-size members, the
+//     pattern is copied into a bounded buffer at install time;
+//   - explicit resource bounds: max_step_bytes caps bytes examined and
+//     max_resubmits caps program-driven chained reads; exceeding either
+//     aborts the *program* (status != kOk) while the kernel and the file
+//     stay fully consistent;
+//   - programs only ever see bytes of the file they are installed on and
+//     only ever request reads inside it (out-of-range chain pointers fault
+//     the program, not the kernel).
+//
+// This layer is pure logic: it never touches the clock, the cache, or a
+// device. The kernel owns scheduling, pricing (see CpuCosts.prog_*), fault
+// handling, and replica routing for every byte a program consumes.
+#ifndef SLEDS_SRC_PROGS_PROGRAM_H_
+#define SLEDS_SRC_PROGS_PROGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/common/units.h"
+#include "src/sleds/sled.h"
+
+namespace sled {
+
+inline constexpr int kProgMaxPattern = 128;    // install-time copy bound
+inline constexpr int kProgMaxBins = 256;       // histogram reduction width
+inline constexpr int kProgMaxRecorded = 64;    // matched-offset ring bound
+
+enum class ProgKind : uint8_t {
+  kFindFirst,  // prune: stop at the first pattern occurrence
+  kCount,      // reduce: line/word/byte counters (wc semantics)
+  kChainWalk,  // chain: pointer-chase over fixed-size linked blocks
+  kHistogram,  // chain+reduce: min/max pass, then a binning pass
+};
+
+enum class ProgStatus : uint8_t {
+  kOk,                // ran to completion
+  kAbortedSteps,      // examined more than limits.max_step_bytes
+  kAbortedResubmits,  // chained more reads than limits.max_resubmits
+  kFaulted,           // malformed data (bad chain pointer / short block)
+};
+
+struct ProgLimits {
+  int64_t max_step_bytes = 256 * kMiB;  // bytes a program may examine
+  int32_t max_resubmits = 1 << 20;      // program-driven chained reads
+};
+
+struct ProgSpec {
+  ProgKind kind = ProgKind::kCount;
+
+  // kFindFirst needle / kChainWalk name filter (empty = match nothing).
+  // Copied into a fixed buffer at install; longer than kProgMaxPattern is
+  // rejected by InstallProgram.
+  std::string pattern;
+
+  // Linear-scan chunk size for the plan-driven kinds and the histogram
+  // passes. The kernel clamps each chunk to the file.
+  int64_t chunk_bytes = kDefaultProgChunk;
+
+  // Plan-driven kinds only: consume chunks lowest-latency-first using the
+  // picker's §4.2 ordering (SortByPickOrder) instead of file order, so a
+  // pruning program drains cheap sections before expensive ones.
+  bool order_by_sleds = false;
+  RankBy rank_by = RankBy::kMean;
+
+  // kChainWalk: offset of the head block and the fixed block size.
+  int64_t start_offset = 0;
+  int64_t block_bytes = kPageSize;
+
+  // kHistogram: FITS-style data unit geometry. bitpix in {8,16,32,-32,-64}.
+  int num_bins = 0;
+  int bitpix = -32;
+  int64_t data_offset = 0;
+  int64_t element_count = 0;
+
+  // Pricing: the app-declared compute cost of the program body, charged by
+  // the kernel per byte examined (same contract as AppCpuCosts per-byte
+  // charges, so a program variant and its userspace oracle pay the same
+  // compute and differ only in crossings and copies).
+  double step_cost_ns_per_byte = 0.0;
+
+  ProgLimits limits;
+
+  static constexpr int64_t kDefaultProgChunk = 64 * kKiB;
+};
+
+struct ProgResult {
+  ProgStatus status = ProgStatus::kOk;
+
+  // kFindFirst
+  bool found = false;
+  int64_t match_offset = -1;
+
+  // kCount
+  int64_t lines = 0;
+  int64_t words = 0;
+  int64_t bytes = 0;
+
+  // kChainWalk
+  int64_t blocks_visited = 0;
+  int64_t names_matched = 0;
+  uint64_t chain_hash = 1469598103934665603ULL;  // FNV-1a basis, order-sensitive
+  std::array<int64_t, kProgMaxRecorded> matched_offsets{};
+  int32_t matched_count = 0;  // total recorded (capped at kProgMaxRecorded)
+
+  // kHistogram
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::array<int64_t, kProgMaxBins> bins{};
+
+  // Execution accounting (all kinds).
+  int64_t bytes_examined = 0;  // "steps" against limits.max_step_bytes
+  int32_t resubmits = 0;       // program-driven chained reads issued
+  int32_t invocations = 0;     // completion-path invocations
+};
+
+// The sandboxed machine itself. Create() validates the spec and copies the
+// pattern; afterwards execution is allocation-free. The kernel drives it:
+//
+//   plan-driven (kFindFirst, kCount): the kernel builds the chunk plan
+//     (sequential or SLED-ordered) and feeds each chunk to OnComplete();
+//     OnPlanEnd() finalizes when the plan is exhausted without kDone.
+//   self-driven (kChainWalk, kHistogram): Start() names the first read and
+//     every OnComplete() may return kSeek naming the next one — the chained
+//     resubmit that replaces an app round trip.
+class CompletionProgram {
+ public:
+  struct Action {
+    enum class Kind : uint8_t {
+      kNext,  // plan-driven: feed me the next planned chunk
+      kSeek,  // self-driven: read [offset, offset+length) next
+      kDone,  // finished; result is final
+      kAbort, // resource bound hit or data fault; result holds the status
+    };
+    Kind kind = Kind::kNext;
+    int64_t offset = 0;
+    int64_t length = 0;
+    // kDone only: queued I/O for this file past the consumed point is now
+    // useless (early exit) — the kernel cancels it.
+    bool cancel_pending = false;
+  };
+
+  static Result<CompletionProgram> Create(const ProgSpec& spec);
+
+  // kChainWalk / kHistogram issue their own reads.
+  bool self_driven() const {
+    return spec_.kind == ProgKind::kChainWalk || spec_.kind == ProgKind::kHistogram;
+  }
+
+  // First read of a self-driven program (kSeek), or kNext for plan-driven
+  // kinds. `file_size` bounds every subsequent seek.
+  Action Start(int64_t file_size);
+
+  // One completed chunk of file bytes at `offset`. Enforces the step budget
+  // before examining data and the resubmit budget before chaining.
+  Action OnComplete(int64_t offset, std::string_view data);
+
+  // Plan-driven kinds: the plan ran dry without an early exit.
+  Action OnPlanEnd();
+
+  const ProgSpec& spec() const { return spec_; }
+  const ProgResult& result() const { return result_; }
+
+ private:
+  explicit CompletionProgram(const ProgSpec& spec);
+
+  Action Abort(ProgStatus status);
+  Action SeekNext(int64_t offset, int64_t length);
+
+  Action FindFirstChunk(int64_t offset, std::string_view data);
+  Action CountChunk(std::string_view data);
+  Action ChainWalkBlock(int64_t offset, std::string_view data);
+  Action HistogramChunk(std::string_view data);
+  Action HistogramAdvance();  // next seek of the current pass, or pass flip
+
+  ProgSpec spec_;
+  ProgResult result_;
+
+  // Fixed-size sandbox state — no allocation after Create().
+  std::array<char, kProgMaxPattern> pattern_{};
+  int32_t pattern_len_ = 0;
+  int64_t file_size_ = 0;
+
+  // kCount: word-seam carry between sequential chunks.
+  bool in_word_ = false;
+
+  // kChainWalk
+  int64_t next_block_ = -1;
+
+  // kHistogram
+  int phase_ = 0;              // 0 = min/max, 1 = bin
+  int64_t elem_size_ = 4;
+  int64_t elements_done_ = 0;  // within the current pass
+  int64_t cursor_ = 0;         // next byte offset of the current pass
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  double width_ = 1.0;
+};
+
+// The exact big-endian FITS pixel decode used by src/fits (duplicated here
+// because progs sits below the kernel in the layering; progs_test pins the
+// two against each other). Reads ElementSize(bitpix) bytes from `in`.
+double ProgDecodeBe(const char* in, int bitpix);
+int64_t ProgElementSize(int bitpix);
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_PROGS_PROGRAM_H_

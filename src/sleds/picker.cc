@@ -10,17 +10,6 @@ namespace {
 
 constexpr int64_t kScanBlock = 4 * kKiB;
 
-void SortPickOrder(SledVector& sleds, RankBy rank_by) {
-  std::stable_sort(sleds.begin(), sleds.end(), [rank_by](const Sled& a, const Sled& b) {
-    const double la = RankLatency(a, rank_by);
-    const double lb = RankLatency(b, rank_by);
-    if (la != lb) {
-      return la < lb;
-    }
-    return a.offset < b.offset;
-  });
-}
-
 }  // namespace
 
 SledsPicker::SledsPicker(SimKernel& kernel, Process& process, int fd, PickerOptions options)
@@ -129,7 +118,7 @@ Result<void> SledsPicker::BuildPlan() {
     AdjustToElementBoundaries(sleds);
   }
   PruneUnavailable(sleds);
-  SortPickOrder(sleds, options_.rank_by);
+  SortByPickOrder(sleds, options_.rank_by);
   plan_ = std::move(sleds);
   current_ = 0;
   position_ = plan_.empty() ? 0 : plan_.front().offset;
@@ -300,7 +289,7 @@ Result<void> SledsPicker::Refresh() {
     AdjustToElementBoundaries(fresh);
   }
   PruneUnavailable(fresh);
-  SortPickOrder(fresh, options_.rank_by);
+  SortByPickOrder(fresh, options_.rank_by);
   plan_ = std::move(fresh);
   current_ = 0;
   position_ = plan_.empty() ? 0 : plan_.front().offset;

@@ -19,6 +19,7 @@
 #ifndef SLEDS_SRC_SLEDS_SLED_H_
 #define SLEDS_SRC_SLEDS_SLED_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -82,6 +83,22 @@ inline double RankLatency(const Sled& s, RankBy rank_by) {
       break;
   }
   return s.latency;
+}
+
+// The pick library's §4.2 ordering: lowest ranking latency first, ties in
+// file order (stable). Shared between SledsPicker::BuildPlan and the
+// kernel's completion-program planner, so a SLED-ordered in-kernel plan
+// consumes sections in exactly the order the userspace picker would have
+// requested them.
+inline void SortByPickOrder(SledVector& sleds, RankBy rank_by) {
+  std::stable_sort(sleds.begin(), sleds.end(), [rank_by](const Sled& a, const Sled& b) {
+    const double la = RankLatency(a, rank_by);
+    const double lb = RankLatency(b, rank_by);
+    if (la != lb) {
+      return la < lb;
+    }
+    return a.offset < b.offset;
+  });
 }
 
 // Estimated delivery time for a whole SLED vector under a given access plan

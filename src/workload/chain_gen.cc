@@ -1,0 +1,71 @@
+#include "src/workload/chain_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+namespace sled {
+namespace {
+
+void PutI64Le(char* out, int64_t value) {
+  auto v = static_cast<uint64_t>(value);
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+}  // namespace
+
+Result<ChainGenInfo> GenerateChainFile(SimKernel& kernel, Process& process,
+                                       std::string_view path, const ChainGenOptions& options,
+                                       Rng& rng) {
+  if (options.num_blocks <= 0 || options.block_bytes < 16 + 32 ||
+      options.marker_every < 0) {
+    return Err::kInval;
+  }
+
+  // Visit order: block 0 first (the head must sit at a known offset), the
+  // rest a Fisher-Yates shuffle so consecutive hops land on far-apart file
+  // offsets — the worst case for readahead, the motivating case for
+  // completion programs.
+  std::vector<int64_t> order(static_cast<size_t>(options.num_blocks));
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = order.size() - 1; i >= 2; --i) {
+    const size_t j = static_cast<size_t>(rng.Uniform(1, static_cast<int64_t>(i)));
+    std::swap(order[i], order[j]);
+  }
+
+  ChainGenInfo info;
+  info.file_bytes = options.num_blocks * options.block_bytes;
+  std::string image(static_cast<size_t>(info.file_bytes), '\0');
+  for (size_t visit = 0; visit < order.size(); ++visit) {
+    char* block = image.data() + order[visit] * options.block_bytes;
+    const int64_t next =
+        visit + 1 < order.size() ? order[visit + 1] * options.block_bytes : -1;
+    PutI64Le(block, next);
+    char name[64];
+    int len = std::snprintf(name, sizeof(name), "node-%06zu", visit);
+    if (options.marker_every > 0 &&
+        (static_cast<int64_t>(visit) + 1) % options.marker_every == 0) {
+      len += std::snprintf(name + len, sizeof(name) - static_cast<size_t>(len), "-%.*s",
+                           static_cast<int>(kChainMarker.size()), kChainMarker.data());
+      ++info.marker_count;
+    }
+    PutI64Le(block + 8, len);
+    std::copy(name, name + len, block + 16);
+  }
+
+  SLED_ASSIGN_OR_RETURN(int fd, kernel.Create(process, path));
+  SLED_ASSIGN_OR_RETURN(
+      int64_t w, kernel.Write(process, fd, std::span<const char>(image.data(), image.size())));
+  if (w != info.file_bytes) {
+    (void)kernel.Close(process, fd);
+    return Err::kIo;
+  }
+  SLED_RETURN_IF_ERROR(kernel.Close(process, fd));
+  return info;
+}
+
+}  // namespace sled

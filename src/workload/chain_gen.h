@@ -1,0 +1,53 @@
+// Chain-file workload generation for the completion-program experiments: a
+// file of fixed-size blocks forming a singly linked list in a seeded random
+// order. Each block holds the file offset of the next block plus a short
+// name; every k-th visited block carries a marker substring that the chain
+// walk searches for. This is the pointer-chase access pattern (directory
+// chains, index pages, database leaf links) where each read depends on the
+// previous one — the shape where per-hop syscall cost dominates and a
+// kernel-resident completion program helps most (see src/apps/find.h
+// RunChain and DESIGN.md §14).
+//
+// Block layout (matching ProgKind::kChainWalk):
+//   [0, 8)           next block's file offset, int64 little-endian; -1 ends
+//   [8, 16)          name length, int64 little-endian
+//   [16, 16 + len)   name bytes; rest of the block is zero padding
+#ifndef SLEDS_SRC_WORKLOAD_CHAIN_GEN_H_
+#define SLEDS_SRC_WORKLOAD_CHAIN_GEN_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace sled {
+
+// Marker substring carried by every k-th visited block's name. Generated
+// names are otherwise "node-NNNNNN", so the marker cannot occur by accident.
+inline constexpr std::string_view kChainMarker = "XCHAINX";
+
+struct ChainGenOptions {
+  int64_t num_blocks = 1024;
+  int64_t block_bytes = kPageSize;
+  // Every `marker_every`-th block in *visit order* (1-based: visits k, 2k,
+  // ...) gets the marker in its name; 0 disables markers entirely.
+  int64_t marker_every = 0;
+};
+
+struct ChainGenInfo {
+  int64_t head_offset = 0;  // where the walk starts (always block 0)
+  int64_t file_bytes = 0;
+  int64_t marker_count = 0;
+};
+
+// Create `path` as a chain file: `num_blocks` blocks whose visit order is a
+// seeded random permutation starting at file offset 0. Deterministic for a
+// given rng state.
+Result<ChainGenInfo> GenerateChainFile(SimKernel& kernel, Process& process,
+                                       std::string_view path, const ChainGenOptions& options,
+                                       Rng& rng);
+
+}  // namespace sled
+
+#endif  // SLEDS_SRC_WORKLOAD_CHAIN_GEN_H_

@@ -19,8 +19,10 @@
 #include "src/fs/hsm_fs.h"
 #include "src/fs/remote_fs.h"
 #include "src/fs/tiered_fs.h"
+#include "src/progs/progs_env.h"
 #include "src/replica/replicated_fs.h"
 #include "src/sleds/delivery.h"
+#include "src/workload/chain_gen.h"
 #include "src/workload/fits_gen.h"
 #include "src/workload/text_gen.h"
 
@@ -52,11 +54,13 @@ constexpr char kHelp[] =
     "commands:\n"
     "  mount <ext2|zoned|cdrom|nfs|ssd|tiered|hsm|remote|replicated> <path>\n"
     "  genfile <path> <MB> | genfits <path> <MB>\n"
+    "  genchain <path> <blocks> [marker-every]\n"
     "  mkdir|rm|ls|stat <path>\n"
     "  cat <path>\n"
-    "  wc [-s] [-m] <path>\n"
-    "  grep [-s] [-q] [-n] <pattern> <path>\n"
+    "  wc [-s] [-m] [-p] <path>\n"
+    "  grep [-s] [-q] [-n] [-p] <pattern> <path>\n"
     "  find <path> [-name <substr>] [-latency <pred>] [-xdev]\n"
+    "  chain <path> [-name <substr>] [-p]   (-p: in-kernel completion program)\n"
     "  sleds <path> | delivery <path>\n"
     "  lock <path> | unlock <path>\n"
     "  migrate <path> | recall <path> | seal <path>\n"
@@ -113,6 +117,9 @@ std::string SledShell::Execute(const std::string& line) {
   if (cmd == "genfits") {
     return CmdGenFits(args);
   }
+  if (cmd == "genchain") {
+    return CmdGenChain(args);
+  }
   if (cmd == "mkdir" && args.size() == 1) {
     auto r = kernel_->vfs().CreateDir(args[0]);
     return r.ok() ? "" : ErrText(r.error());
@@ -138,6 +145,9 @@ std::string SledShell::Execute(const std::string& line) {
   }
   if (cmd == "find") {
     return CmdFind(args);
+  }
+  if (cmd == "chain") {
+    return CmdChain(args);
   }
   if (cmd == "sleds") {
     return CmdSleds(args);
@@ -246,8 +256,13 @@ std::string SledShell::CmdMount(const std::vector<std::string>& args) {
     replicas.push_back(std::make_unique<SsdDevice>(sc));
     replicas.push_back(std::make_unique<NetworkDevice>(nc));
     ReplicatedFsConfig rc;
-    const char* hedge = std::getenv("SLEDS_HEDGE_P99");
-    rc.hedge_reads = hedge != nullptr && atoi(hedge) != 0;
+    // Read once and cache: repeated mounts must not re-consult the
+    // environment mid-run (same magic-static pattern as ResolveIoMode).
+    static const bool hedge = [] {
+      const char* v = std::getenv("SLEDS_HEDGE_P99");
+      return v != nullptr && atoi(v) != 0;
+    }();
+    rc.hedge_reads = hedge;
     fs = std::make_unique<ReplicatedFs>("replicated", std::move(replicas), rc);
   } else {
     return "error: unknown fs kind '" + args[0] + "'\n";
@@ -293,6 +308,30 @@ std::string SledShell::CmdGenFits(const std::vector<std::string>& args) {
                 static_cast<long long>(r->naxis[1]), p.stats().elapsed().ToString().c_str());
 }
 
+std::string SledShell::CmdGenChain(const std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 3) {
+    return "usage: genchain <path> <blocks> [marker-every]\n";
+  }
+  ChainGenOptions options;
+  options.num_blocks = atoll(args[1].c_str());
+  if (args.size() == 3) {
+    options.marker_every = atoll(args[2].c_str());
+  }
+  if (options.num_blocks <= 0 || options.marker_every < 0) {
+    return "error: bad block count\n";
+  }
+  Process& p = NewProcess("gen");
+  auto r = GenerateChainFile(*kernel_, p, args[0], options, rng_);
+  if (!r.ok()) {
+    return ErrText(r.error());
+  }
+  return Format("wrote %lld-block chain (%lld bytes, %lld marked) in %s\n",
+                static_cast<long long>(options.num_blocks),
+                static_cast<long long>(r->file_bytes),
+                static_cast<long long>(r->marker_count),
+                p.stats().elapsed().ToString().c_str());
+}
+
 std::string SledShell::CmdCat(const std::vector<std::string>& args) {
   if (args.size() != 1) {
     return "usage: cat <path>\n";
@@ -322,18 +361,21 @@ std::string SledShell::CmdCat(const std::vector<std::string>& args) {
 
 std::string SledShell::CmdWc(const std::vector<std::string>& args) {
   WcOptions options;
+  options.kernel_program = ProgsEnabledFromEnv();  // $SLEDS_PROGS=1
   std::string path;
   for (const std::string& a : args) {
     if (a == "-s") {
       options.use_sleds = true;
     } else if (a == "-m") {
       options.use_mmap = true;
+    } else if (a == "-p") {
+      options.kernel_program = true;
     } else {
       path = a;
     }
   }
   if (path.empty()) {
-    return "usage: wc [-s] [-m] <path>\n";
+    return "usage: wc [-s] [-m] [-p] <path>\n";
   }
   Process& p = NewProcess("wc");
   auto r = WcApp::Run(*kernel_, p, path, options);
@@ -357,6 +399,8 @@ std::string SledShell::CmdGrep(const std::vector<std::string>& args) {
       options.quiet_first_match = true;
     } else if (a == "-n") {
       options.line_numbers = true;
+    } else if (a == "-p") {
+      options.kernel_program = true;
     } else if ((a == "-A" || a == "-B") && i + 1 < args.size()) {
       const int count = atoi(args[++i].c_str());
       (a == "-A" ? options.after_context : options.before_context) = count;
@@ -365,7 +409,12 @@ std::string SledShell::CmdGrep(const std::vector<std::string>& args) {
     }
   }
   if (positional.size() != 2) {
-    return "usage: grep [-s] [-q] [-n] [-A n] [-B n] <pattern> <path>\n";
+    return "usage: grep [-s] [-q] [-n] [-p] [-A n] [-B n] <pattern> <path>\n";
+  }
+  // $SLEDS_PROGS=1 turns -q greps into completion programs by default; other
+  // greps need assembled lines, which only the userspace path produces.
+  if (options.quiet_first_match && ProgsEnabledFromEnv()) {
+    options.kernel_program = true;
   }
   Process& p = NewProcess("grep");
   auto r = GrepApp::Run(*kernel_, p, positional[1], positional[0], options);
@@ -433,6 +482,35 @@ std::string SledShell::CmdFind(const std::vector<std::string>& args) {
                 static_cast<long long>(r->files_examined),
                 static_cast<long long>(r->files_pruned_by_latency));
   return out;
+}
+
+std::string SledShell::CmdChain(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return "usage: chain <path> [-name <substr>] [-p]\n";
+  }
+  ChainOptions options;
+  options.kernel_program = ProgsEnabledFromEnv();  // $SLEDS_PROGS=1
+  const std::string path = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-p") {
+      options.kernel_program = true;
+    } else if (args[i] == "-name" && i + 1 < args.size()) {
+      options.name_contains = args[++i];
+    } else {
+      return "error: unknown chain switch '" + args[i] + "'\n";
+    }
+  }
+  Process& p = NewProcess("chain");
+  auto r = FindApp::RunChain(*kernel_, p, path, options);
+  if (!r.ok()) {
+    return ErrText(r.error());
+  }
+  return Format("%lld blocks, %lld matched, hash %016llx  (%s, %lld syscalls)\n",
+                static_cast<long long>(r->blocks_visited),
+                static_cast<long long>(r->names_matched),
+                static_cast<unsigned long long>(r->chain_hash),
+                p.stats().elapsed().ToString().c_str(),
+                static_cast<long long>(p.stats().syscalls));
 }
 
 std::string SledShell::CmdSleds(const std::vector<std::string>& args) {

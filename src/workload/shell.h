@@ -8,11 +8,16 @@
 //   mount <ext2|cdrom|nfs|hsm|remote> <path>
 //   genfile <path> <MB>            pseudo-random text
 //   genfits <path> <MB>            FITS float image
+//   genchain <path> <blocks> [every]  linked-block chain file
 //   mkdir <path> | rm <path> | ls <path> | stat <path>
 //   cat <path>                     read fully; report time and faults
-//   wc [-s] [-m] <path>            -s: SLEDs order, -m: mmap access
-//   grep [-s] [-q] [-n] <pattern> <path>
+//   wc [-s] [-m] [-p] <path>       -s: SLEDs order, -m: mmap, -p: in-kernel
+//   grep [-s] [-q] [-n] [-p] <pattern> <path>
 //   find <path> [-name <substr>] [-latency <pred>]
+//   chain <path> [-name <substr>] [-p]  walk a chain file hop by hop
+//
+// -p runs the command as a kernel-resident completion program (grep needs
+// -q with it); $SLEDS_PROGS=1 makes -p the default for wc/grep/chain.
 //   sleds <path>                   the gmc properties panel
 //   delivery <path>                estimated total delivery time
 //   lock <path> | unlock <path>    FSLEDS_LOCK whole file / release
@@ -53,10 +58,12 @@ class SledShell {
   std::string CmdMount(const std::vector<std::string>& args);
   std::string CmdGenFile(const std::vector<std::string>& args);
   std::string CmdGenFits(const std::vector<std::string>& args);
+  std::string CmdGenChain(const std::vector<std::string>& args);
   std::string CmdCat(const std::vector<std::string>& args);
   std::string CmdWc(const std::vector<std::string>& args);
   std::string CmdGrep(const std::vector<std::string>& args);
   std::string CmdFind(const std::vector<std::string>& args);
+  std::string CmdChain(const std::vector<std::string>& args);
   std::string CmdSleds(const std::vector<std::string>& args);
   std::string CmdDelivery(const std::vector<std::string>& args);
   std::string CmdLock(const std::vector<std::string>& args, bool lock);
